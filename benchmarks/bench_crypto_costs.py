@@ -1,0 +1,84 @@
+"""E3 — encryption costs and their extrapolation (claim C3, "privacy vs performance").
+
+The demo measures the Damgård–Jurik operation times beforehand and displays
+the overhead that real homomorphic operations would add at full scale.  This
+benchmark reproduces both halves: the per-operation timings as a function of
+key size and degree, and the per-participant cost prediction of a complete
+run for populations from 10^3 to 10^6.
+
+Expected shape: per-operation cost grows roughly cubically with the key size;
+the per-participant compute time is independent of the population size (the
+gossip design's whole point) and stays in the "seconds to minutes per
+iteration" range the paper calls affordable for personal devices.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import CostModel, ProtocolWorkload, format_table, measure_crypto_costs
+from repro.crypto import damgard_jurik as dj
+
+KEY_SIZES = [256, 512, 1024]
+
+
+@pytest.mark.parametrize("key_bits", KEY_SIZES)
+def test_per_operation_costs_vs_key_size(benchmark, key_bits):
+    """Measured per-operation times for increasing key sizes."""
+    profile = run_once(
+        benchmark, measure_crypto_costs, key_bits=key_bits, degree=1,
+        threshold=3, n_shares=5, repetitions=3,
+    )
+    print()
+    print(format_table(
+        [profile.as_dict()],
+        columns=["key_bits", "encryption_seconds", "addition_seconds",
+                 "partial_decryption_seconds", "combination_seconds", "ciphertext_bytes"],
+        title=f"E3 - Damgard-Jurik per-operation cost, {key_bits}-bit key",
+    ))
+    benchmark.extra_info.update(profile.as_dict())
+    assert profile.encryption_seconds > profile.addition_seconds
+
+
+def test_degree_two_costs(benchmark):
+    """Degree s=2 doubles the plaintext space and increases per-op cost."""
+    profile = run_once(
+        benchmark, measure_crypto_costs, key_bits=512, degree=2,
+        threshold=3, n_shares=5, repetitions=3,
+    )
+    print()
+    print(format_table([profile.as_dict()],
+                       title="E3 - Damgard-Jurik per-operation cost, 512-bit key, degree 2"))
+    assert profile.ciphertext_bytes > 512 // 8 * 2
+
+
+def test_encryption_throughput_single_op(benchmark):
+    """Raw single-encryption latency with a realistic 1024-bit key."""
+    public, _private = dj.generate_keypair(key_bits=1024, s=1)
+    benchmark(dj.encrypt, public, 123456789)
+
+
+def test_extrapolated_run_costs(benchmark):
+    """Per-participant cost of a full run, extrapolated to 10^3..10^6 devices."""
+    profile = measure_crypto_costs(key_bits=1024, degree=1, threshold=3, n_shares=5,
+                                   repetitions=3)
+    workload = ProtocolWorkload(
+        n_clusters=5, series_length=48, iterations=10,
+        gossip_cycles=12, exchanges_per_cycle=1, threshold=3,
+    )
+    model = CostModel(profile)
+    rows = run_once(benchmark, model.sweep_population, workload,
+                    [10**3, 10**4, 10**5, 10**6])
+    print()
+    print(format_table(
+        rows,
+        columns=["n_participants", "encryption_seconds", "addition_seconds",
+                 "decryption_seconds", "total_compute_seconds", "bytes_sent",
+                 "messages_sent", "aggregate_bytes"],
+        title="E3 - extrapolated per-participant cost of a full run (1024-bit key, k=5, T=48)",
+    ))
+    # Per-participant cost must not depend on the population size.
+    assert rows[0]["total_compute_seconds"] == rows[-1]["total_compute_seconds"]
+    # "Affordable": less than an hour of compute per device for the whole run.
+    assert rows[0]["total_compute_seconds"] < 3600

@@ -1,0 +1,101 @@
+"""E5 — gossip approximation error vs number of exchanges (Section III.B, item 3).
+
+The demo keeps "the approximation error of gossip algorithms ... similar to a
+context with a larger population by decreasing the number of messages per
+participant"; the underlying fact is the exponential convergence of gossip
+aggregation (Kempe et al., FOCS 2003).  This benchmark regenerates the error
+curve: maximum relative error across participants as a function of the number
+of gossip cycles, for the cleartext protocol and for the encrypted one.
+
+Expected shape: the error decreases exponentially (roughly halving per
+cycle), for both the cleartext and the encrypted variants, and for both
+population sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_series, format_table
+from repro.crypto.backends import PlainBackend
+from repro.gossip import encrypted_gossip_average, gossip_average, max_relative_error
+
+
+def test_cleartext_convergence_curve(benchmark):
+    values = np.random.default_rng(5).uniform(0.0, 1.0, size=(256, 8))
+
+    def run():
+        _estimates, history = gossip_average(values, cycles=20, seed=5, return_history=True)
+        return history
+
+    history = run_once(benchmark, run)
+    print()
+    print(format_series(history, label="E5 - max relative error per gossip cycle (n=256)"))
+    # Exponential convergence: after 20 cycles the error collapsed by >10^3.
+    assert history[-1] < history[0] * 1e-3
+    # Roughly monotone decrease.
+    assert history[-1] == min(history)
+
+
+def test_convergence_vs_population(benchmark):
+    def run():
+        rows = []
+        for population in (64, 256, 1024):
+            values = np.random.default_rng(7).uniform(0.0, 1.0, size=(population, 4))
+            _estimates, history = gossip_average(values, cycles=16, seed=7,
+                                                 return_history=True)
+            rows.append({
+                "n_participants": population,
+                "error_after_4": history[3],
+                "error_after_8": history[7],
+                "error_after_16": history[15],
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="E5 - gossip error vs cycles and population size"))
+    for row in rows:
+        assert row["error_after_16"] < row["error_after_4"]
+
+
+def test_push_sum_matches_push_pull(benchmark):
+    values = np.random.default_rng(9).uniform(0.0, 1.0, size=(128, 4))
+
+    def run():
+        _e1, push_pull = gossip_average(values, cycles=16, seed=9, return_history=True)
+        _e2, push_sum = gossip_average(values, cycles=16, seed=9, protocol="push_sum",
+                                       return_history=True)
+        return push_pull, push_sum
+
+    push_pull, push_sum = run_once(benchmark, run)
+    print()
+    print(format_table(
+        [{"cycle": index + 1, "push_pull": pp, "push_sum": ps}
+         for index, (pp, ps) in enumerate(zip(push_pull, push_sum))],
+        title="E5 - push-pull vs push-sum error per cycle (n=128)",
+    ))
+    assert push_pull[-1] < 1e-3
+    assert push_sum[-1] < 1e-2
+
+
+def test_encrypted_gossip_convergence(benchmark):
+    """The same exponential behaviour holds for the encrypted primitive."""
+    backend = PlainBackend(threshold=2, n_shares=4, encoding_scale=10**6)
+    values = np.random.default_rng(11).uniform(0.0, 1.0, size=(64, 6))
+
+    def run():
+        rows = []
+        for cycles in (2, 4, 8, 12):
+            estimates = encrypted_gossip_average(backend, values, cycles=cycles, seed=11)
+            rows.append({
+                "cycles": cycles,
+                "max_relative_error": max_relative_error(estimates, values.mean(axis=0)),
+            })
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="E5 - encrypted gossip averaging error vs cycles (n=64)"))
+    assert rows[-1]["max_relative_error"] < rows[0]["max_relative_error"] / 10

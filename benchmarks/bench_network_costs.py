@@ -1,0 +1,79 @@
+"""E4 — network costs per participant (claim C3).
+
+Runs the protocol at several population sizes and reports the per-participant
+message and byte counts measured by the simulated network, split by run.
+
+Expected shape: the per-participant traffic is essentially independent of the
+population size — it depends on k, the series length, the number of gossip
+exchanges and the decryption threshold — which is what makes the design
+scale to the 10^6 devices the paper targets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import run_chiaroscuro
+from repro.datasets import generate_gaussian_clusters
+
+POPULATIONS = [40, 80, 160]
+
+
+def _run_population(bench_config, n_participants: int):
+    collection = generate_gaussian_clusters(
+        n_series=n_participants, series_length=24, n_clusters=4, noise_std=0.05, seed=200,
+    )
+    config = bench_config.with_overrides(
+        simulation={"n_participants": n_participants},
+        kmeans={"n_clusters": 4, "max_iterations": 4},
+    )
+    result = run_chiaroscuro(collection, config)
+    return {
+        "n_participants": n_participants,
+        "n_iterations": result.n_iterations,
+        "messages_per_participant": result.costs.messages_per_participant,
+        "kbytes_per_participant": result.costs.bytes_per_participant / 1024,
+        "messages_total": result.costs.messages_sent,
+        "kbytes_total": result.costs.bytes_sent / 1024,
+    }
+
+
+def test_network_cost_vs_population(benchmark, bench_config):
+    def sweep():
+        return [_run_population(bench_config, population) for population in POPULATIONS]
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        rows,
+        title="E4 - per-participant network cost vs population size (plain backend)",
+    ))
+    per_participant = [row["kbytes_per_participant"] / row["n_iterations"] for row in rows]
+    # Per-participant, per-iteration traffic stays within a factor ~2 across a
+    # 4x population increase: it does not grow with the population.
+    assert max(per_participant) <= min(per_participant) * 2.0
+
+
+def test_network_cost_vs_gossip_exchanges(benchmark, bench_config, gaussian_collection):
+    """Traffic grows linearly with the number of gossip cycles per aggregation."""
+    def sweep():
+        rows = []
+        for cycles in (5, 10, 20):
+            config = bench_config.with_overrides(
+                gossip={"cycles_per_aggregation": cycles},
+                kmeans={"n_clusters": 4, "max_iterations": 3},
+            )
+            result = run_chiaroscuro(gaussian_collection, config)
+            rows.append({
+                "gossip_cycles": cycles,
+                "n_iterations": result.n_iterations,
+                "messages_per_participant": result.costs.messages_per_participant,
+                "kbytes_per_participant": result.costs.bytes_per_participant / 1024,
+            })
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, title="E4 - network cost vs gossip cycles per aggregation"))
+    assert rows[-1]["kbytes_per_participant"] > rows[0]["kbytes_per_participant"]

@@ -1,0 +1,81 @@
+"""E7 — impact of the noise on the centroids along iterations (Fig. 3, panel 5).
+
+The demo GUI illustrates "the impact of the noise on four random centroids
+along the iterations".  This benchmark regenerates the quantity behind that
+panel — the distance between the disclosed perturbed means and the noise-free
+means the iteration would have produced — and shows how the smoothing
+heuristic reduces it at an unchanged privacy level.
+
+Expected shape: the noise magnitude scales with 1/ε; smoothing (moving
+average or low-pass) reduces it substantially compared to no smoothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_series, format_table
+from repro.core import run_chiaroscuro
+
+
+def test_noise_magnitude_per_iteration(benchmark, cer_collection, bench_config):
+    config = bench_config.with_overrides(privacy={"epsilon": 2.0})
+    result = run_once(benchmark, run_chiaroscuro, cer_collection, config)
+    magnitudes = result.log.noise_magnitudes()
+    print()
+    print(format_series(
+        magnitudes,
+        label="E7 - ||perturbed means - noise-free means|| per iteration (epsilon=2)",
+    ))
+    assert len(magnitudes) >= 1
+    assert all(np.isfinite(magnitude) for magnitude in magnitudes)
+
+
+def test_noise_decreases_with_epsilon(benchmark, cer_collection, bench_config):
+    def sweep():
+        rows = []
+        for epsilon in (0.5, 2.0, 8.0):
+            config = bench_config.with_overrides(
+                privacy={"epsilon": epsilon}, kmeans={"n_clusters": 4, "max_iterations": 4},
+            )
+            result = run_chiaroscuro(cer_collection, config)
+            magnitudes = result.log.noise_magnitudes()
+            rows.append({
+                "epsilon": epsilon,
+                "mean_noise_magnitude": float(np.mean(magnitudes)),
+                "last_noise_magnitude": magnitudes[-1],
+            })
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, title="E7 - noise magnitude vs privacy budget"))
+    assert rows[-1]["mean_noise_magnitude"] < rows[0]["mean_noise_magnitude"]
+
+
+def test_smoothing_reduces_noise_impact(benchmark, cer_collection, bench_config):
+    """The smoothing heuristic recovers centroid quality at equal ε."""
+    def sweep():
+        rows = []
+        for method in ("none", "moving_average", "lowpass"):
+            config = bench_config.with_overrides(
+                smoothing={"method": method},
+                privacy={"epsilon": 1.0},
+                kmeans={"n_clusters": 4, "max_iterations": 4},
+            )
+            result = run_chiaroscuro(cer_collection, config)
+            rows.append({
+                "smoothing": method,
+                "mean_noise_magnitude": float(np.mean(result.log.noise_magnitudes())),
+                "inertia": result.inertia,
+            })
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, title="E7 - smoothing heuristic vs noise impact (epsilon=1)"))
+    none_row = next(row for row in rows if row["smoothing"] == "none")
+    smoothed_rows = [row for row in rows if row["smoothing"] != "none"]
+    assert min(row["mean_noise_magnitude"] for row in smoothed_rows) < \
+        none_row["mean_noise_magnitude"]

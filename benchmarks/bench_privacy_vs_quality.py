@@ -1,0 +1,56 @@
+"""E1 — privacy vs quality trade-off (demonstration claim C2, mutable ε).
+
+Regenerates the demo's headline trade-off: the quality of Chiaroscuro's
+perturbed centroids (relative intra-cluster inertia against a centralised
+k-means, plus the adjusted Rand index against the generator's ground truth)
+as the total differential-privacy budget ε varies.
+
+Expected shape: quality degrades as ε decreases; for moderate-to-large ε the
+relative inertia approaches the centralised reference (claim C2).  Absolute
+numbers differ from the paper (population 10^2 here vs 10^3-10^6 there), but
+the monotone trend is the reproduced result.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import format_table, privacy_quality_tradeoff
+
+EPSILONS = [0.5, 1.0, 2.0, 5.0, 10.0]
+
+
+def test_privacy_vs_quality_cer(benchmark, cer_collection, bench_config):
+    """ε sweep on the electricity-consumption use-case."""
+    rows = run_once(
+        benchmark, privacy_quality_tradeoff, cer_collection, bench_config, EPSILONS,
+        label_key="archetype",
+    )
+    print()
+    print(format_table(
+        rows,
+        columns=["epsilon", "relative_inertia", "adjusted_rand_index",
+                 "centroid_matching_error", "n_iterations"],
+        title="E1a - privacy vs quality (CER-like, relative to centralized k-means)",
+    ))
+    benchmark.extra_info["rows"] = [
+        {key: row[key] for key in ("epsilon", "relative_inertia")} for row in rows
+    ]
+    # Reproduced shape: more budget never hurts quality by more than noise.
+    assert rows[-1]["relative_inertia"] <= rows[0]["relative_inertia"] * 1.5
+
+
+def test_privacy_vs_quality_numed(benchmark, numed_collection, bench_config):
+    """ε sweep on the tumor-growth use-case (the demo's first GUI scenario)."""
+    rows = run_once(
+        benchmark, privacy_quality_tradeoff, numed_collection, bench_config, EPSILONS,
+        label_key="archetype",
+    )
+    print()
+    print(format_table(
+        rows,
+        columns=["epsilon", "relative_inertia", "adjusted_rand_index",
+                 "centroid_matching_error", "n_iterations"],
+        title="E1b - privacy vs quality (NUMED-like, relative to centralized k-means)",
+    ))
+    assert rows[-1]["relative_inertia"] <= rows[0]["relative_inertia"] * 1.5

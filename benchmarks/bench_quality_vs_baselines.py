@@ -1,0 +1,68 @@
+"""E2 — quality of Chiaroscuro against its baselines (claim C2).
+
+Regenerates the comparison the demo GUI displays: the perturbed profiles
+versus the centralised k-means reference, with the centralised DP (trusted
+curator) baseline, the non-private distributed (plain gossip) baseline and a
+random clustering as anchors.
+
+Expected shape: centralized <= distributed_plain << random, with chiaroscuro
+and centralized_dp in between (both pay the differential-privacy noise at the
+same ε); chiaroscuro stays in the same quality regime as the trusted-curator
+DP baseline even though it removes the trusted curator entirely.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import compare_with_baselines, format_comparison
+
+COLUMNS = ["relative_inertia", "adjusted_rand_index", "centroid_matching_error"]
+
+
+def _check_ordering(reports):
+    assert reports["centralized"]["relative_inertia"] <= 1.0 + 1e-6
+    assert reports["distributed_plain"]["relative_inertia"] < 2.0
+    assert reports["random"]["relative_inertia"] >= reports["distributed_plain"]["relative_inertia"]
+    assert reports["chiaroscuro"]["relative_inertia"] < reports["random"]["relative_inertia"] * 2
+
+
+def test_baselines_cer(benchmark, cer_collection, bench_config):
+    reports = run_once(
+        benchmark, compare_with_baselines, cer_collection, bench_config,
+        label_key="archetype",
+    )
+    print()
+    print(format_comparison(
+        reports, columns=COLUMNS,
+        title="E2a - Chiaroscuro vs baselines (CER-like, epsilon=2)",
+    ))
+    _check_ordering(reports)
+
+
+def test_baselines_numed(benchmark, numed_collection, bench_config):
+    reports = run_once(
+        benchmark, compare_with_baselines, numed_collection, bench_config,
+        label_key="archetype",
+    )
+    print()
+    print(format_comparison(
+        reports, columns=COLUMNS,
+        title="E2b - Chiaroscuro vs baselines (NUMED-like, epsilon=2)",
+    ))
+    _check_ordering(reports)
+
+
+def test_baselines_gaussian_ground_truth(benchmark, gaussian_collection, bench_config):
+    """Controlled dataset where the true partition is known by construction."""
+    reports = run_once(
+        benchmark, compare_with_baselines, gaussian_collection, bench_config,
+        label_key="cluster",
+    )
+    print()
+    print(format_comparison(
+        reports, columns=COLUMNS,
+        title="E2c - Chiaroscuro vs baselines (synthetic ground truth, epsilon=2)",
+    ))
+    _check_ordering(reports)
+    assert reports["centralized"]["adjusted_rand_index"] > 0.9

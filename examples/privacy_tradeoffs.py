@@ -1,0 +1,87 @@
+"""Privacy vs quality vs cost trade-offs — the demo's parameter playground.
+
+The demonstration lets the audience change the differential-privacy level,
+the quality-enhancing heuristics and the number of participants required for
+decryption, and observe the effect on quality and cost.  This example sweeps
+those same knobs programmatically and prints one table per knob.
+
+Run with:  python examples/privacy_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+from repro import ChiaroscuroConfig, generate_gaussian_clusters, run_chiaroscuro
+from repro.analysis import (
+    centralized_reference,
+    evaluate_result,
+    format_table,
+    heuristics_ablation,
+    measure_crypto_costs,
+    CostModel,
+    ProtocolWorkload,
+)
+
+
+def main() -> None:
+    data = generate_gaussian_clusters(
+        n_series=120, series_length=24, n_clusters=4, noise_std=0.05, seed=23
+    )
+    config = ChiaroscuroConfig().with_overrides(
+        kmeans={"n_clusters": 4, "max_iterations": 5},
+        privacy={"epsilon": 1.0, "noise_shares": 32},
+        gossip={"cycles_per_aggregation": 10},
+        simulation={"n_participants": 120, "seed": 23},
+    )
+    reference = centralized_reference(data, config)
+
+    # --- knob 1: the differential-privacy level ---------------------------------
+    rows = []
+    for epsilon in (0.25, 0.5, 1.0, 2.0, 5.0, 10.0):
+        run_config = config.with_overrides(privacy={"epsilon": epsilon})
+        result = run_chiaroscuro(data, run_config)
+        report = evaluate_result(data, run_config, result, reference, "cluster")
+        rows.append({
+            "epsilon": epsilon,
+            "relative_inertia": report["relative_inertia"],
+            "adjusted_rand_index": report["adjusted_rand_index"],
+            "effective_epsilon": result.guarantee.effective_epsilon,
+            "delta": result.guarantee.delta,
+        })
+    print(format_table(rows, title="knob 1: privacy level (epsilon)"))
+
+    # --- knob 2: the quality-enhancing heuristics --------------------------------
+    ablation = heuristics_ablation(
+        data, config,
+        strategies=("uniform", "geometric"),
+        smoothing_methods=("none", "lowpass"),
+        label_key="cluster",
+    )
+    print()
+    print(format_table(
+        ablation,
+        columns=["budget_strategy", "smoothing", "relative_inertia", "adjusted_rand_index"],
+        title="knob 2: quality-enhancing heuristics (epsilon=1)",
+    ))
+
+    # --- knob 3: the number of participants required for decryption --------------
+    profile = measure_crypto_costs(key_bits=512, degree=1, threshold=3, n_shares=8,
+                                   repetitions=3)
+    rows = []
+    for threshold in (2, 4, 8):
+        workload = ProtocolWorkload(
+            n_clusters=4, series_length=24, iterations=5,
+            gossip_cycles=10, exchanges_per_cycle=1, threshold=threshold,
+        )
+        estimate = CostModel(profile).estimate(workload)
+        rows.append({
+            "decryption_threshold": threshold,
+            "decryption_seconds": estimate.decryption_seconds,
+            "total_compute_seconds": estimate.total_compute_seconds,
+            "kbytes_sent": estimate.bytes_sent / 1024,
+        })
+    print()
+    print(format_table(rows, title="knob 3: participants required for decryption (cost model)"))
+
+
+if __name__ == "__main__":
+    main()

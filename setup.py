@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The build environment used for this reproduction has no ``wheel`` package and
+no network access, so PEP 517/660 editable builds (which require building a
+wheel) are unavailable.  Keeping a ``setup.py`` lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` code path, which works offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

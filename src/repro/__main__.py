@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point delegating to :mod:`repro.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

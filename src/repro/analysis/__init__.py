@@ -1,0 +1,39 @@
+"""Analysis layer: quality comparisons, cost model, profile search, reporting."""
+
+from .costs import (
+    CostEstimate,
+    CostModel,
+    CryptoCostProfile,
+    ProtocolWorkload,
+    measure_crypto_costs,
+)
+from .profiles import ProfileMatch, closest_profiles, match_subsequence, profile_recall
+from .quality import (
+    centralized_reference,
+    compare_with_baselines,
+    evaluate_result,
+    heuristics_ablation,
+    privacy_quality_tradeoff,
+)
+from .reporting import format_comparison, format_series, format_table, format_value
+
+__all__ = [
+    "CryptoCostProfile",
+    "CostModel",
+    "CostEstimate",
+    "ProtocolWorkload",
+    "measure_crypto_costs",
+    "ProfileMatch",
+    "match_subsequence",
+    "closest_profiles",
+    "profile_recall",
+    "centralized_reference",
+    "evaluate_result",
+    "privacy_quality_tradeoff",
+    "compare_with_baselines",
+    "heuristics_ablation",
+    "format_table",
+    "format_series",
+    "format_comparison",
+    "format_value",
+]

@@ -1,0 +1,272 @@
+"""Cost model: measured cryptographic costs and extrapolation to large scales.
+
+The demonstration disables homomorphic operations for the live run but
+displays "the performance overhead that would be due to homomorphic
+operations and to a larger population size ... based on actual average
+measures performed beforehand (e.g., of encryption/decryption/addition
+times)" (Section III.B).  This module reproduces that methodology:
+
+* :func:`measure_crypto_costs` times the real Damgård–Jurik operations for a
+  given key size and degree;
+* :class:`CostModel` combines the measured per-operation times with the
+  protocol's operation counts to predict the per-participant compute time and
+  bandwidth of a run at any population size — including the 10^6 participants
+  Chiaroscuro targets but a laptop cannot simulate with real encryption.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..crypto import damgard_jurik as dj
+from ..crypto.threshold import (
+    combine_partial_decryptions,
+    generate_threshold_keypair,
+    partial_decrypt,
+)
+from ..exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class CryptoCostProfile:
+    """Measured average time (seconds) of each cryptographic operation."""
+
+    key_bits: int
+    degree: int
+    keygen_seconds: float
+    encryption_seconds: float
+    addition_seconds: float
+    partial_decryption_seconds: float
+    combination_seconds: float
+    ciphertext_bytes: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dictionary view (for reports)."""
+        return {
+            "key_bits": float(self.key_bits),
+            "degree": float(self.degree),
+            "keygen_seconds": self.keygen_seconds,
+            "encryption_seconds": self.encryption_seconds,
+            "addition_seconds": self.addition_seconds,
+            "partial_decryption_seconds": self.partial_decryption_seconds,
+            "combination_seconds": self.combination_seconds,
+            "ciphertext_bytes": float(self.ciphertext_bytes),
+        }
+
+
+def measure_crypto_costs(
+    key_bits: int = 512,
+    degree: int = 1,
+    threshold: int = 3,
+    n_shares: int = 5,
+    repetitions: int = 5,
+) -> CryptoCostProfile:
+    """Time the Damgård–Jurik operations with a real key of the given size.
+
+    The measurements are averages over *repetitions* operations; they are the
+    per-operation constants the cost model extrapolates from (exactly the
+    demo's own methodology).
+    """
+    check_positive_int(repetitions, "repetitions")
+    start = time.perf_counter()
+    public, shares, _private = generate_threshold_keypair(
+        key_bits=key_bits, s=degree, threshold=threshold, n_shares=n_shares
+    )
+    keygen_seconds = time.perf_counter() - start
+    plaintext_modulus = public.public_key.plaintext_modulus
+    rng = np.random.default_rng(0)
+    plaintexts = [int(rng.integers(0, min(plaintext_modulus, 2**62))) for _ in range(repetitions)]
+
+    start = time.perf_counter()
+    ciphertexts = [dj.encrypt(public.public_key, value) for value in plaintexts]
+    encryption_seconds = (time.perf_counter() - start) / repetitions
+
+    start = time.perf_counter()
+    for first, second in zip(ciphertexts, ciphertexts[1:] + ciphertexts[:1]):
+        dj.add_ciphertexts(public.public_key, first, second)
+    addition_seconds = (time.perf_counter() - start) / repetitions
+
+    start = time.perf_counter()
+    partials = [
+        partial_decrypt(public, shares[0], ciphertext) for ciphertext in ciphertexts
+    ]
+    partial_decryption_seconds = (time.perf_counter() - start) / repetitions
+
+    all_partials = [
+        [partial_decrypt(public, share, ciphertext) for share in shares[:threshold]]
+        for ciphertext in ciphertexts
+    ]
+    start = time.perf_counter()
+    for partial_set in all_partials:
+        combine_partial_decryptions(public, partial_set)
+    combination_seconds = (time.perf_counter() - start) / repetitions
+    del partials
+
+    return CryptoCostProfile(
+        key_bits=key_bits,
+        degree=degree,
+        keygen_seconds=keygen_seconds,
+        encryption_seconds=encryption_seconds,
+        addition_seconds=addition_seconds,
+        partial_decryption_seconds=partial_decryption_seconds,
+        combination_seconds=combination_seconds,
+        ciphertext_bytes=public.public_key.ciphertext_bits // 8,
+    )
+
+
+@dataclass(frozen=True)
+class ProtocolWorkload:
+    """Per-participant operation counts of one protocol run.
+
+    The counts follow directly from the protocol structure (Section II.B):
+    per iteration a participant encrypts its contribution (2k(T+1)
+    ciphertexts: data and noise estimates), performs one homomorphic
+    addition per estimate component per gossip exchange, asks the committee
+    for threshold partial decryptions of k(T+1) components and combines them.
+    """
+
+    n_clusters: int
+    series_length: int
+    iterations: int
+    gossip_cycles: int
+    exchanges_per_cycle: int
+    threshold: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_clusters, "n_clusters")
+        check_positive_int(self.series_length, "series_length")
+        check_positive_int(self.iterations, "iterations")
+        check_positive_int(self.gossip_cycles, "gossip_cycles")
+        check_positive_int(self.exchanges_per_cycle, "exchanges_per_cycle")
+        check_positive_int(self.threshold, "threshold")
+
+    @property
+    def components_per_estimate(self) -> int:
+        """Ciphertext components of one per-cluster estimate (series + count)."""
+        return self.series_length + 1
+
+    @property
+    def encryptions_per_iteration(self) -> int:
+        """Fresh encryptions per participant per iteration (data + noise sides)."""
+        return 2 * self.n_clusters * self.components_per_estimate
+
+    @property
+    def additions_per_iteration(self) -> int:
+        """Homomorphic additions per participant per iteration.
+
+        Each gossip exchange averages both sides of the diptych (2k estimates
+        of T+1 components, with an extra scalar multiplication counted as one
+        addition-equivalent), plus the final noise addition.
+        """
+        per_exchange = 3 * self.n_clusters * self.components_per_estimate
+        exchanges = 2 * self.gossip_cycles * self.exchanges_per_cycle
+        return per_exchange * exchanges + self.n_clusters * self.components_per_estimate
+
+    @property
+    def partial_decryptions_per_iteration(self) -> int:
+        """Partial decryptions computed *for* one participant per iteration."""
+        return self.threshold * self.n_clusters * self.components_per_estimate
+
+    @property
+    def combinations_per_iteration(self) -> int:
+        """Share combinations per participant per iteration."""
+        return self.n_clusters * self.components_per_estimate
+
+    @property
+    def messages_per_iteration(self) -> int:
+        """Messages sent per participant per iteration (gossip + decryption)."""
+        gossip = 2 * self.gossip_cycles * self.exchanges_per_cycle
+        decryption = 2 * self.threshold
+        return gossip + decryption
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted per-participant cost of a run (compute seconds and bytes)."""
+
+    encryption_seconds: float
+    addition_seconds: float
+    decryption_seconds: float
+    total_compute_seconds: float
+    bytes_sent: float
+    messages_sent: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dictionary view (for reports)."""
+        return {
+            "encryption_seconds": self.encryption_seconds,
+            "addition_seconds": self.addition_seconds,
+            "decryption_seconds": self.decryption_seconds,
+            "total_compute_seconds": self.total_compute_seconds,
+            "bytes_sent": self.bytes_sent,
+            "messages_sent": self.messages_sent,
+        }
+
+
+class CostModel:
+    """Combine a measured cost profile with a protocol workload."""
+
+    def __init__(self, profile: CryptoCostProfile) -> None:
+        self.profile = profile
+
+    def estimate(self, workload: ProtocolWorkload) -> CostEstimate:
+        """Per-participant cost prediction for a whole run.
+
+        The prediction is independent of the population size: that is the
+        point of the gossip design — per-participant work depends on k, T,
+        the number of gossip exchanges and the decryption threshold, not on
+        how many devices participate overall.
+        """
+        iterations = workload.iterations
+        encryption = (
+            workload.encryptions_per_iteration * iterations * self.profile.encryption_seconds
+        )
+        addition = (
+            workload.additions_per_iteration * iterations * self.profile.addition_seconds
+        )
+        decryption = iterations * (
+            workload.partial_decryptions_per_iteration
+            * self.profile.partial_decryption_seconds
+            + workload.combinations_per_iteration * self.profile.combination_seconds
+        )
+        payload = self.profile.ciphertext_bytes * workload.n_clusters * (
+            workload.components_per_estimate
+        )
+        gossip_bytes = 2 * payload * 2 * workload.gossip_cycles * workload.exchanges_per_cycle
+        decryption_bytes = 2 * payload * workload.threshold
+        bytes_sent = iterations * (gossip_bytes + decryption_bytes)
+        messages = iterations * workload.messages_per_iteration
+        return CostEstimate(
+            encryption_seconds=encryption,
+            addition_seconds=addition,
+            decryption_seconds=decryption,
+            total_compute_seconds=encryption + addition + decryption,
+            bytes_sent=float(bytes_sent),
+            messages_sent=float(messages),
+        )
+
+    def sweep_population(
+        self, workload: ProtocolWorkload, populations: list[int]
+    ) -> list[dict[str, float]]:
+        """Cost rows for a list of population sizes.
+
+        Per-participant costs are constant; the rows add the *aggregate*
+        network volume, which is what grows linearly with the population and
+        what the demo's cost screen contrasts with the per-device figures.
+        """
+        if not populations:
+            raise AnalysisError("populations must not be empty")
+        estimate = self.estimate(workload)
+        rows = []
+        for population in populations:
+            check_positive_int(population, "population")
+            row = {"n_participants": float(population)}
+            row.update(estimate.as_dict())
+            row["aggregate_bytes"] = estimate.bytes_sent * population
+            row["aggregate_messages"] = estimate.messages_sent * population
+            rows.append(row)
+        return rows

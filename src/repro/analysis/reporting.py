@@ -1,0 +1,87 @@
+"""Plain-text report formatting for experiments and benchmarks.
+
+The demonstration's GUI renders interactive graphs; the library counterpart
+is a set of small helpers producing aligned text tables and sparkline-style
+series, so each benchmark can print the rows/series the corresponding GUI
+screen displays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..exceptions import AnalysisError
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Render a single cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Format a list of dictionaries as an aligned text table."""
+    if not rows:
+        raise AnalysisError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(column, ""), precision=precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    values: Sequence[float],
+    label: str = "",
+    width: int = 50,
+    precision: int = 4,
+) -> str:
+    """Render a numeric series as an ASCII bar chart (one line per point)."""
+    if not values:
+        raise AnalysisError("cannot format an empty series")
+    maximum = max(abs(float(value)) for value in values)
+    scale = (width / maximum) if maximum > 0 else 0.0
+    lines = [label] if label else []
+    for index, value in enumerate(values):
+        bar = "#" * int(round(abs(float(value)) * scale))
+        lines.append(f"{index:>4d} | {format_value(float(value), precision):>12s} | {bar}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    reports: Mapping[str, Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Format a {method: metrics} mapping as a table with a ``method`` column."""
+    rows = [{"method": method, **metrics} for method, metrics in reports.items()]
+    if columns is not None:
+        columns = ["method", *columns]
+    return format_table(rows, columns=columns, precision=precision, title=title)

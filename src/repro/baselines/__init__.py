@@ -1,0 +1,14 @@
+"""Baselines: centralised k-means, centralised DP k-means, plain gossip k-means."""
+
+from .centralized import CentralizedResult, centralized_kmeans
+from .centralized_dp import CentralizedDPResult, centralized_dp_kmeans
+from .distributed_plain import DistributedPlainResult, distributed_plain_kmeans
+
+__all__ = [
+    "CentralizedResult",
+    "centralized_kmeans",
+    "CentralizedDPResult",
+    "centralized_dp_kmeans",
+    "DistributedPlainResult",
+    "distributed_plain_kmeans",
+]

@@ -1,0 +1,198 @@
+"""Command-line interface: run Chiaroscuro experiments without writing code.
+
+Three subcommands mirror the demonstration's workflow:
+
+* ``run`` — execute the protocol on one of the registered datasets and print
+  the run summary, the profile sizes and the realised privacy guarantee;
+* ``compare`` — compare Chiaroscuro against the centralised, centralised-DP
+  and plain-gossip baselines on the same dataset;
+* ``crypto-bench`` — measure the Damgård–Jurik per-operation costs for a
+  given key size and print the extrapolated per-participant cost of a run.
+
+Examples
+--------
+::
+
+    python -m repro run --dataset cer --participants 100 --clusters 4 --epsilon 2
+    python -m repro compare --dataset numed --participants 80 --epsilon 5
+    python -m repro crypto-bench --key-bits 512 --populations 1000 1000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis import (
+    CostModel,
+    ProtocolWorkload,
+    compare_with_baselines,
+    format_comparison,
+    format_table,
+    measure_crypto_costs,
+)
+from .config import ChiaroscuroConfig
+from .core import run_chiaroscuro
+from .datasets import available_datasets, load_dataset
+from .exceptions import ReproError
+
+
+def _dataset_from_args(args: argparse.Namespace):
+    """Instantiate the requested dataset with a size fitting the population."""
+    name = args.dataset
+    if name == "cer":
+        return load_dataset("cer", n_households=args.participants, n_days=1,
+                            readings_per_day=24, seed=args.seed)
+    if name == "numed":
+        return load_dataset("numed", n_patients=args.participants, n_weeks=20, seed=args.seed)
+    if name == "gaussian":
+        return load_dataset("gaussian", n_series=args.participants, series_length=24,
+                            n_clusters=args.clusters, seed=args.seed)
+    return load_dataset(name, seed=args.seed)
+
+
+def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
+    return ChiaroscuroConfig().with_overrides(
+        kmeans={"n_clusters": args.clusters, "max_iterations": args.iterations},
+        privacy={"epsilon": args.epsilon,
+                 "noise_shares": min(args.noise_shares, args.participants),
+                 "budget_strategy": args.budget_strategy},
+        gossip={"cycles_per_aggregation": args.gossip_cycles},
+        smoothing={"method": args.smoothing},
+        crypto={"backend": args.backend},
+        simulation={"n_participants": args.participants, "seed": args.seed},
+    )
+
+
+def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="cer", choices=sorted(available_datasets()),
+                        help="registered dataset to cluster")
+    parser.add_argument("--participants", type=int, default=100,
+                        help="number of simulated personal devices")
+    parser.add_argument("--clusters", type=int, default=4, help="number of profiles k")
+    parser.add_argument("--iterations", type=int, default=6, help="maximum k-means iterations")
+    parser.add_argument("--epsilon", type=float, default=2.0, help="total privacy budget")
+    parser.add_argument("--noise-shares", type=int, default=32,
+                        help="number of noise-share contributors")
+    parser.add_argument("--budget-strategy", default="geometric",
+                        choices=["uniform", "geometric", "adaptive"])
+    parser.add_argument("--smoothing", default="moving_average",
+                        choices=["none", "moving_average", "lowpass", "exponential"])
+    parser.add_argument("--gossip-cycles", type=int, default=10,
+                        help="gossip cycles per aggregation")
+    parser.add_argument("--backend", default="plain",
+                        choices=["plain", "paillier", "damgard_jurik"],
+                        help="cipher backend (plain = demo mode with simulated crypto)")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    collection = _dataset_from_args(args)
+    config = _config_from_args(args)
+    result = run_chiaroscuro(collection, config)
+    if args.json:
+        payload = {
+            "summary": result.summary(),
+            "cluster_sizes": result.cluster_sizes(),
+            "guarantee": result.guarantee.as_dict(),
+            "costs": result.costs.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(format_table([result.summary()], title=f"Chiaroscuro run on {collection.name}"))
+    print()
+    print(format_table(
+        [{"profile": cluster, "members": size}
+         for cluster, size in result.cluster_sizes().items()],
+        title="profile sizes",
+    ))
+    print()
+    print(format_table([result.guarantee.as_dict()], title="realised privacy guarantee"))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    collection = _dataset_from_args(args)
+    config = _config_from_args(args)
+    label_key = "cluster" if args.dataset == "gaussian" else "archetype"
+    reports = compare_with_baselines(collection, config, label_key=label_key)
+    if args.json:
+        print(json.dumps(reports, indent=2))
+        return 0
+    print(format_comparison(
+        reports,
+        columns=["relative_inertia", "adjusted_rand_index", "centroid_matching_error"],
+        title=f"Chiaroscuro vs baselines on {collection.name} (epsilon={args.epsilon})",
+    ))
+    return 0
+
+
+def _command_crypto_bench(args: argparse.Namespace) -> int:
+    profile = measure_crypto_costs(
+        key_bits=args.key_bits, degree=args.degree, threshold=args.threshold,
+        n_shares=max(args.threshold, args.threshold + 2), repetitions=args.repetitions,
+    )
+    workload = ProtocolWorkload(
+        n_clusters=args.clusters, series_length=args.series_length,
+        iterations=args.iterations, gossip_cycles=args.gossip_cycles,
+        exchanges_per_cycle=1, threshold=args.threshold,
+    )
+    rows = CostModel(profile).sweep_population(workload, args.populations)
+    if args.json:
+        print(json.dumps({"profile": profile.as_dict(), "rows": rows}, indent=2))
+        return 0
+    print(format_table([profile.as_dict()], title="measured per-operation costs"))
+    print()
+    print(format_table(rows, title="extrapolated per-participant run costs"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chiaroscuro: privacy-preserving clustering of distributed time-series",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run the protocol on a dataset")
+    _add_common_run_options(run_parser)
+    run_parser.set_defaults(handler=_command_run)
+
+    compare_parser = subparsers.add_parser("compare", help="compare against the baselines")
+    _add_common_run_options(compare_parser)
+    compare_parser.set_defaults(handler=_command_compare)
+
+    crypto_parser = subparsers.add_parser("crypto-bench",
+                                          help="measure and extrapolate encryption costs")
+    crypto_parser.add_argument("--key-bits", type=int, default=512)
+    crypto_parser.add_argument("--degree", type=int, default=1)
+    crypto_parser.add_argument("--threshold", type=int, default=3)
+    crypto_parser.add_argument("--repetitions", type=int, default=3)
+    crypto_parser.add_argument("--clusters", type=int, default=5)
+    crypto_parser.add_argument("--series-length", type=int, default=48)
+    crypto_parser.add_argument("--iterations", type=int, default=10)
+    crypto_parser.add_argument("--gossip-cycles", type=int, default=12)
+    crypto_parser.add_argument("--populations", type=int, nargs="+",
+                               default=[10**3, 10**6])
+    crypto_parser.add_argument("--json", action="store_true")
+    crypto_parser.set_defaults(handler=_command_crypto_bench)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,276 @@
+"""Centralised Lloyd k-means on time-series matrices.
+
+This is the algorithm Chiaroscuro distributes (paper, Section II.A), kept
+centralised here for three purposes: the quality reference of claim C2
+("similar to the quality of centralized clustering results"), the
+initialisation of unit tests with known optima, and the building block of the
+centralised differentially-private baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_2d_float_array, check_non_negative_float, check_positive_int
+from ..exceptions import ConvergenceError, ValidationError
+from ..timeseries.distance import pairwise_distances
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k, series_length)`` matrix of final centroids.
+    assignments:
+        Cluster index of every input series.
+    inertia:
+        Sum of squared distances of every series to its centroid.
+    n_iterations:
+        Number of iterations executed.
+    converged:
+        Whether the displacement threshold was met before ``max_iterations``.
+    history:
+        Per-iteration snapshots: centroid displacement and inertia.
+    """
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    n_iterations: int
+    converged: bool
+    history: list[dict[str, float]] = field(default_factory=list)
+
+
+def initialize_centroids(
+    data: np.ndarray,
+    n_clusters: int,
+    method: str = "kmeans++",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Pick the initial centroids.
+
+    ``"random"`` samples k distinct series; ``"kmeans++"`` uses the usual
+    D²-weighted seeding; ``"public"`` draws k random curves uniformly inside
+    the data's value range *without touching individual series* — this is the
+    data-independent initialisation Chiaroscuro uses so that the starting
+    centroids cost no privacy budget.
+    """
+    data = as_2d_float_array(data, "data")
+    check_positive_int(n_clusters, "n_clusters")
+    if n_clusters > data.shape[0] and method != "public":
+        raise ValidationError(
+            f"cannot pick {n_clusters} initial centroids from {data.shape[0]} series"
+        )
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if method == "random":
+        indices = rng.choice(data.shape[0], size=n_clusters, replace=False)
+        return data[indices].copy()
+    if method == "kmeans++":
+        centroids = np.empty((n_clusters, data.shape[1]))
+        first = int(rng.integers(0, data.shape[0]))
+        centroids[0] = data[first]
+        for index in range(1, n_clusters):
+            distances = pairwise_distances(data, centroids[:index], metric="sqeuclidean")
+            closest = distances.min(axis=1)
+            total = float(closest.sum())
+            if total <= 0.0:
+                # All points coincide with an existing centroid; fall back to random picks.
+                pick = int(rng.integers(0, data.shape[0]))
+            else:
+                pick = int(rng.choice(data.shape[0], p=closest / total))
+            centroids[index] = data[pick]
+        return centroids
+    if method == "public":
+        low = float(data.min())
+        high = float(data.max())
+        if high <= low:
+            high = low + 1.0
+        return rng.uniform(low, high, size=(n_clusters, data.shape[1]))
+    raise ValidationError(f"unknown initialisation method {method!r}")
+
+
+def public_initial_centroids(
+    n_clusters: int,
+    series_length: int,
+    value_low: float,
+    value_high: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Data-independent initial centroids shared by every participant.
+
+    All Chiaroscuro participants derive the same starting centroids from a
+    public seed and the public value range, so no privacy budget is spent on
+    initialisation.  The centroids are near-constant curves at levels evenly
+    spread across the public value range (with a small smooth, seeded
+    variation to break ties): level-spread curves partition bounded personal
+    time-series far more evenly than random curves, which keeps the first
+    assignment step from emptying clusters.
+    """
+    check_positive_int(n_clusters, "n_clusters")
+    check_positive_int(series_length, "series_length")
+    if value_high <= value_low:
+        raise ValidationError(
+            f"value_high ({value_high}) must exceed value_low ({value_low})"
+        )
+    rng = np.random.default_rng(seed)
+    span = value_high - value_low
+    # Levels at the centres of k equal-width bands of the public range.
+    levels = value_low + span * (np.arange(n_clusters) + 0.5) / n_clusters
+    grid = np.linspace(0.0, 2.0 * np.pi, num=series_length)
+    centroids = np.empty((n_clusters, series_length))
+    for cluster in range(n_clusters):
+        wobble = 0.05 * span * np.sin(grid + rng.uniform(0.0, 2.0 * np.pi))
+        centroids[cluster] = np.clip(levels[cluster] + wobble, value_low, value_high)
+    return centroids
+
+
+def reseed_centroid(
+    donor_centroid: np.ndarray,
+    value_bound: float,
+    iteration: int,
+    cluster: int,
+    seed: int = 0,
+    jitter_fraction: float = 0.05,
+) -> np.ndarray:
+    """Deterministic, data-independent re-seed for an empty cluster.
+
+    When a cluster receives (almost) no members, its centroid is replaced by
+    a jittered copy of a donor centroid (typically the largest cluster's
+    perturbed mean) — the classic "split the biggest cluster" repair.  The
+    jitter is derived from public values only (seed, iteration, cluster), so
+    every Chiaroscuro participant computes the same replacement and no
+    private information is consumed.
+    """
+    donor_centroid = np.asarray(donor_centroid, dtype=float)
+    rng = np.random.default_rng((int(seed) * 1_000_003 + iteration * 101 + cluster) % 2**63)
+    jitter = rng.normal(0.0, jitter_fraction * value_bound, size=donor_centroid.shape)
+    return np.clip(donor_centroid + jitter, 0.0, value_bound)
+
+
+def assign_to_centroids(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the closest centroid for every row of *data* (assignment step)."""
+    distances = pairwise_distances(data, centroids, metric="sqeuclidean")
+    return distances.argmin(axis=1)
+
+
+def compute_means(
+    data: np.ndarray, assignments: np.ndarray, n_clusters: int,
+    fallback_centroids: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cluster means (computation step).
+
+    Empty clusters keep their previous centroid when *fallback_centroids* is
+    given, otherwise they are re-seeded on the overall mean.
+    """
+    data = as_2d_float_array(data, "data")
+    means = np.empty((n_clusters, data.shape[1]))
+    overall = data.mean(axis=0)
+    for cluster in range(n_clusters):
+        members = data[assignments == cluster]
+        if len(members) == 0:
+            if fallback_centroids is not None:
+                means[cluster] = fallback_centroids[cluster]
+            else:
+                means[cluster] = overall
+        else:
+            means[cluster] = members.mean(axis=0)
+    return means
+
+
+def centroid_displacement(previous: np.ndarray, current: np.ndarray) -> float:
+    """Average point-wise L2 displacement between two centroid sets."""
+    previous = as_2d_float_array(previous, "previous")
+    current = as_2d_float_array(current, "current")
+    if previous.shape != current.shape:
+        raise ValidationError(
+            f"centroid sets have different shapes: {previous.shape} vs {current.shape}"
+        )
+    return float(np.linalg.norm(previous - current, axis=1).mean())
+
+
+def compute_inertia(data: np.ndarray, centroids: np.ndarray,
+                    assignments: np.ndarray | None = None) -> float:
+    """Intra-cluster inertia: sum of squared distances to the assigned centroid."""
+    data = as_2d_float_array(data, "data")
+    centroids = as_2d_float_array(centroids, "centroids")
+    if assignments is None:
+        assignments = assign_to_centroids(data, centroids)
+    diffs = data - centroids[assignments]
+    return float(np.sum(diffs * diffs))
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    max_iterations: int = 100,
+    convergence_threshold: float = 1e-4,
+    init: str = "kmeans++",
+    seed: int = 0,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """Run Lloyd's k-means until convergence or ``max_iterations``."""
+    data = as_2d_float_array(data, "data")
+    check_positive_int(n_clusters, "n_clusters")
+    check_positive_int(max_iterations, "max_iterations")
+    check_non_negative_float(convergence_threshold, "convergence_threshold")
+    rng = np.random.default_rng(seed)
+    if initial_centroids is not None:
+        centroids = as_2d_float_array(initial_centroids, "initial_centroids").copy()
+        if centroids.shape != (n_clusters, data.shape[1]):
+            raise ValidationError(
+                "initial_centroids has shape "
+                f"{centroids.shape}, expected {(n_clusters, data.shape[1])}"
+            )
+    else:
+        centroids = initialize_centroids(data, n_clusters, method=init, rng=rng)
+    assignments = assign_to_centroids(data, centroids)
+    history: list[dict[str, float]] = []
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        assignments = assign_to_centroids(data, centroids)
+        means = compute_means(data, assignments, n_clusters, fallback_centroids=centroids)
+        displacement = centroid_displacement(centroids, means)
+        centroids = means
+        inertia = compute_inertia(data, centroids)
+        history.append({
+            "iteration": float(iteration),
+            "displacement": displacement,
+            "inertia": inertia,
+        })
+        if displacement <= convergence_threshold:
+            converged = True
+            break
+    assignments = assign_to_centroids(data, centroids)
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments,
+        inertia=compute_inertia(data, centroids, assignments),
+        n_iterations=iteration,
+        converged=converged,
+        history=history,
+    )
+
+
+def best_of_kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    n_restarts: int = 5,
+    **kwargs: object,
+) -> KMeansResult:
+    """Run k-means ``n_restarts`` times with different seeds; keep the best inertia."""
+    check_positive_int(n_restarts, "n_restarts")
+    best: KMeansResult | None = None
+    base_seed = int(kwargs.pop("seed", 0))  # type: ignore[arg-type]
+    for restart in range(n_restarts):
+        result = kmeans(data, n_clusters, seed=base_seed + restart, **kwargs)  # type: ignore[arg-type]
+        if best is None or result.inertia < best.inertia:
+            best = result
+    if best is None:
+        raise ConvergenceError("no k-means run produced a result")
+    return best

@@ -1,0 +1,171 @@
+"""Clustering-quality metrics.
+
+The demonstration compares the quality of Chiaroscuro's perturbed centroids
+against a centralised k-means (claim C2).  The library reports:
+
+* **intra-cluster inertia** (the k-means objective) and the *relative* inertia
+  against a reference clustering — the paper's main quality measure;
+* **adjusted Rand index** against the generators' ground-truth labels;
+* **silhouette score** as a label-free quality check;
+* **centroid matching error** — average distance between each reference
+  centroid and its best-matching produced centroid, which quantifies how
+  recognisable the noisy profiles remain (the "impact of the noise on the
+  centroids" panel of the demo GUI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .._validation import as_2d_float_array, check_positive_int
+from ..exceptions import ValidationError
+from ..timeseries.distance import pairwise_distances
+from .kmeans import assign_to_centroids, compute_inertia
+
+
+def relative_inertia(data: np.ndarray, centroids: np.ndarray,
+                     reference_inertia: float) -> float:
+    """Inertia of *centroids* on *data*, divided by a reference inertia.
+
+    A value of 1.0 means "as good as the reference" (typically the
+    centralised, non-private k-means); larger values quantify the degradation
+    caused by privacy and distribution.
+    """
+    if reference_inertia <= 0:
+        raise ValidationError(f"reference_inertia must be > 0, got {reference_inertia}")
+    return compute_inertia(data, centroids) / reference_inertia
+
+
+def contingency_table(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    """Contingency table between two label vectors."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValidationError("label vectors must have the same length")
+    values_a, indices_a = np.unique(labels_a, return_inverse=True)
+    values_b, indices_b = np.unique(labels_b, return_inverse=True)
+    table = np.zeros((len(values_a), len(values_b)), dtype=np.int64)
+    np.add.at(table, (indices_a, indices_b), 1)
+    return table
+
+
+def adjusted_rand_index(labels_true: np.ndarray, labels_pred: np.ndarray) -> float:
+    """Adjusted Rand index between two labelings (1 = identical partitions)."""
+    table = contingency_table(labels_true, labels_pred)
+    n = table.sum()
+    if n <= 1:
+        return 1.0
+    sum_comb_cells = float((table * (table - 1) / 2).sum())
+    sum_comb_rows = float((table.sum(axis=1) * (table.sum(axis=1) - 1) / 2).sum())
+    sum_comb_cols = float((table.sum(axis=0) * (table.sum(axis=0) - 1) / 2).sum())
+    total_pairs = float(n * (n - 1) / 2)
+    expected = sum_comb_rows * sum_comb_cols / total_pairs
+    maximum = 0.5 * (sum_comb_rows + sum_comb_cols)
+    if maximum == expected:
+        return 1.0
+    return (sum_comb_cells - expected) / (maximum - expected)
+
+
+def silhouette_score(data: np.ndarray, assignments: np.ndarray,
+                     sample_size: int | None = None, seed: int = 0) -> float:
+    """Mean silhouette coefficient of a clustering (label-free quality).
+
+    For large datasets a random sample of *sample_size* points keeps the
+    O(n²) distance computation affordable.
+    """
+    data = as_2d_float_array(data, "data")
+    assignments = np.asarray(assignments)
+    if len(assignments) != len(data):
+        raise ValidationError("assignments must have one entry per series")
+    labels = np.unique(assignments)
+    if len(labels) < 2:
+        return 0.0
+    if sample_size is not None and sample_size < len(data):
+        check_positive_int(sample_size, "sample_size")
+        rng = np.random.default_rng(seed)
+        picked = rng.choice(len(data), size=sample_size, replace=False)
+    else:
+        picked = np.arange(len(data))
+    distances = pairwise_distances(data[picked], data, metric="euclidean")
+    scores = []
+    for row, index in enumerate(picked):
+        own_label = assignments[index]
+        own_mask = assignments == own_label
+        own_mask_excl = own_mask.copy()
+        own_mask_excl[index] = False
+        if own_mask_excl.sum() == 0:
+            scores.append(0.0)
+            continue
+        a_value = distances[row, own_mask_excl].mean()
+        b_value = np.inf
+        for label in labels:
+            if label == own_label:
+                continue
+            other_mask = assignments == label
+            if other_mask.sum() == 0:
+                continue
+            b_value = min(b_value, distances[row, other_mask].mean())
+        if not np.isfinite(b_value):
+            scores.append(0.0)
+            continue
+        denominator = max(a_value, b_value)
+        scores.append(0.0 if denominator == 0 else (b_value - a_value) / denominator)
+    return float(np.mean(scores))
+
+
+def match_centroids(reference: np.ndarray, produced: np.ndarray) -> list[tuple[int, int]]:
+    """Optimal one-to-one matching between two centroid sets (Hungarian method).
+
+    Returns (reference_index, produced_index) pairs minimising the total
+    Euclidean distance.  When the sets have different sizes, the smaller one
+    is fully matched.
+    """
+    reference = as_2d_float_array(reference, "reference")
+    produced = as_2d_float_array(produced, "produced")
+    if reference.shape[1] != produced.shape[1]:
+        raise ValidationError("centroid sets must share their series length")
+    costs = pairwise_distances(reference, produced, metric="euclidean")
+    row_indices, col_indices = optimize.linear_sum_assignment(costs)
+    return list(zip(row_indices.tolist(), col_indices.tolist()))
+
+
+def centroid_matching_error(reference: np.ndarray, produced: np.ndarray) -> float:
+    """Average distance between matched reference/produced centroid pairs."""
+    pairs = match_centroids(reference, produced)
+    if not pairs:
+        raise ValidationError("no centroid pairs to compare")
+    costs = pairwise_distances(
+        as_2d_float_array(reference, "reference"),
+        as_2d_float_array(produced, "produced"),
+        metric="euclidean",
+    )
+    return float(np.mean([costs[i, j] for i, j in pairs]))
+
+
+def quality_report(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    reference_centroids: np.ndarray | None = None,
+    reference_inertia: float | None = None,
+    true_labels: np.ndarray | None = None,
+) -> dict[str, float]:
+    """Assemble every applicable quality metric into one dictionary."""
+    data = as_2d_float_array(data, "data")
+    centroids = as_2d_float_array(centroids, "centroids")
+    assignments = assign_to_centroids(data, centroids)
+    report: dict[str, float] = {
+        "inertia": compute_inertia(data, centroids, assignments),
+        "n_clusters_used": float(len(np.unique(assignments))),
+    }
+    if reference_inertia is not None and reference_inertia > 0:
+        report["relative_inertia"] = report["inertia"] / reference_inertia
+    if reference_centroids is not None:
+        report["centroid_matching_error"] = centroid_matching_error(
+            reference_centroids, centroids
+        )
+    if true_labels is not None:
+        report["adjusted_rand_index"] = adjusted_rand_index(
+            np.asarray(true_labels), assignments
+        )
+    return report

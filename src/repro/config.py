@@ -1,0 +1,353 @@
+"""Configuration objects for the Chiaroscuro protocol and its substrates.
+
+The configuration is split into small frozen dataclasses, one per subsystem,
+mirroring the parameter groups of the demonstration (Section III.B of the
+paper): k-means parameters, privacy parameters, encryption parameters, gossip
+parameters and simulation parameters.  :class:`ChiaroscuroConfig` aggregates
+them and performs cross-field validation in ``__post_init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from ._validation import (
+    check_fraction_open,
+    check_in_choices,
+    check_non_negative_float,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+from .exceptions import ConfigurationError
+
+#: Budget-distribution strategies shipped with the library (Section II.B,
+#: "quality-enhancing heuristics").
+BUDGET_STRATEGIES = ("uniform", "geometric", "adaptive")
+
+#: Centroid-smoothing heuristics shipped with the library.
+SMOOTHING_METHODS = ("none", "moving_average", "lowpass", "exponential")
+
+#: Cryptographic backends.  ``plain`` reproduces the demonstration mode in
+#: which homomorphic operations are disabled and their cost is simulated.
+CRYPTO_BACKENDS = ("damgard_jurik", "paillier", "plain")
+
+#: Gossip overlay topologies.
+OVERLAY_TOPOLOGIES = ("complete", "random_regular", "small_world", "ring")
+
+
+@dataclass(frozen=True)
+class KMeansConfig:
+    """Parameters of the k-means substrate (fixed parameters in the demo).
+
+    Attributes
+    ----------
+    n_clusters:
+        Number of centroids *k*.
+    max_iterations:
+        Hard cap on the number of k-means iterations.
+    convergence_threshold:
+        Iterations stop when the average displacement between the previous
+        centroids and the new means falls below this threshold.
+    init:
+        Initialisation strategy, ``"random"`` (sample k series) or
+        ``"kmeans++"``.
+    track_quality:
+        When true, the optional quality-monitoring termination criterion of
+        footnote 2 in the paper is enabled: the run also stops if the
+        intra-cluster inertia stops improving for ``quality_patience``
+        consecutive iterations.
+    quality_patience:
+        Number of non-improving iterations tolerated before stopping when
+        ``track_quality`` is enabled.
+    """
+
+    n_clusters: int = 5
+    max_iterations: int = 15
+    convergence_threshold: float = 1e-3
+    init: str = "kmeans++"
+    track_quality: bool = True
+    quality_patience: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_clusters, "n_clusters")
+        check_positive_int(self.max_iterations, "max_iterations")
+        check_non_negative_float(self.convergence_threshold, "convergence_threshold")
+        check_in_choices(self.init, ("random", "kmeans++"), "init")
+        check_positive_int(self.quality_patience, "quality_patience")
+
+
+@dataclass(frozen=True)
+class PrivacyConfig:
+    """Differential-privacy parameters (the main mutable parameter of the demo).
+
+    Attributes
+    ----------
+    epsilon:
+        Total privacy budget for a complete run.  The budget is split across
+        iterations according to ``budget_strategy`` (self-composition).
+    budget_strategy:
+        How the total budget is distributed across iterations: ``"uniform"``
+        gives every iteration the same share, ``"geometric"`` gives later
+        iterations exponentially larger shares (late centroids matter more for
+        final quality), ``"adaptive"`` re-plans the remaining budget after each
+        iteration based on observed centroid movement.
+    geometric_ratio:
+        Common ratio of the geometric strategy (> 1 gives more budget to later
+        iterations).
+    noise_shares:
+        Number *n* of gamma-distributed noise-shares summed to produce one
+        Laplace sample; in Chiaroscuro each share comes from a distinct
+        participant.
+    value_bound:
+        Upper bound on the absolute value of any single time-series point,
+        used to derive the L1 sensitivity of the per-cluster sums.
+    count_bound:
+        Sensitivity bound of the per-cluster counts (one individual moves one
+        unit of count), kept explicit for clarity.
+    delta_slack:
+        Target probabilistic slack of the probabilistic variant of
+        differential privacy caused by the gossip approximation error.
+    """
+
+    epsilon: float = 1.0
+    budget_strategy: str = "geometric"
+    geometric_ratio: float = 1.3
+    noise_shares: int = 32
+    value_bound: float = 1.0
+    count_bound: float = 1.0
+    delta_slack: float = 1e-4
+
+    def __post_init__(self) -> None:
+        check_positive_float(self.epsilon, "epsilon")
+        check_in_choices(self.budget_strategy, BUDGET_STRATEGIES, "budget_strategy")
+        check_positive_float(self.geometric_ratio, "geometric_ratio")
+        check_positive_int(self.noise_shares, "noise_shares")
+        check_positive_float(self.value_bound, "value_bound")
+        check_positive_float(self.count_bound, "count_bound")
+        check_probability(self.delta_slack, "delta_slack")
+
+
+@dataclass(frozen=True)
+class CryptoConfig:
+    """Encryption parameters (fixed parameters of the demo).
+
+    Attributes
+    ----------
+    backend:
+        ``"damgard_jurik"`` for the real threshold scheme, ``"paillier"`` for
+        the degree-1 special case, ``"plain"`` for the demonstration mode in
+        which homomorphic operations are disabled and their cost simulated.
+    key_bits:
+        Size of the RSA modulus *n* in bits.  Tests use small keys (e.g. 128)
+        for speed; cost benchmarks use realistic sizes (1024/2048).
+    degree:
+        Damgård–Jurik degree *s*: plaintext space is Z_{n^s}.
+    threshold:
+        Minimum number of distinct participants whose partial decryptions are
+        required to recover a plaintext (collaborative decryption).
+    n_key_shares:
+        Total number of key shares distributed among participants.
+    encoding_scale:
+        Fixed-point scale used to encode real-valued time-series points into
+        the integer plaintext space (value -> round(value * scale)).
+    """
+
+    backend: str = "plain"
+    key_bits: int = 256
+    degree: int = 1
+    threshold: int = 3
+    n_key_shares: int = 8
+    encoding_scale: int = 10**6
+
+    def __post_init__(self) -> None:
+        check_in_choices(self.backend, CRYPTO_BACKENDS, "backend")
+        check_positive_int(self.key_bits, "key_bits")
+        check_positive_int(self.degree, "degree")
+        check_positive_int(self.threshold, "threshold")
+        check_positive_int(self.n_key_shares, "n_key_shares")
+        check_positive_int(self.encoding_scale, "encoding_scale")
+        if self.key_bits < 16:
+            raise ConfigurationError("key_bits must be at least 16")
+        if self.threshold > self.n_key_shares:
+            raise ConfigurationError(
+                f"threshold ({self.threshold}) cannot exceed n_key_shares ({self.n_key_shares})"
+            )
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Gossip-layer parameters (fixed parameters of the demo).
+
+    Attributes
+    ----------
+    exchanges_per_cycle:
+        Number of gossip exchanges each participant initiates per simulation
+        cycle (the "number of messages per participant" knob of Section
+        III.B).
+    cycles_per_aggregation:
+        Number of gossip cycles run for each distributed sum before the value
+        is considered converged and handed back to the protocol.
+    fanout:
+        Number of neighbours contacted per exchange.
+    topology:
+        Overlay topology used for peer sampling.
+    topology_degree:
+        Node degree of the ``random_regular`` / ``small_world`` overlays.
+    rewiring_probability:
+        Small-world rewiring probability (Watts–Strogatz).
+    drop_probability:
+        Probability that a gossip message is lost (fault model).
+    """
+
+    exchanges_per_cycle: int = 1
+    cycles_per_aggregation: int = 12
+    fanout: int = 1
+    topology: str = "complete"
+    topology_degree: int = 8
+    rewiring_probability: float = 0.1
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.exchanges_per_cycle, "exchanges_per_cycle")
+        check_positive_int(self.cycles_per_aggregation, "cycles_per_aggregation")
+        check_positive_int(self.fanout, "fanout")
+        check_in_choices(self.topology, OVERLAY_TOPOLOGIES, "topology")
+        check_positive_int(self.topology_degree, "topology_degree")
+        check_probability(self.rewiring_probability, "rewiring_probability")
+        check_probability(self.drop_probability, "drop_probability")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Population and fault-model parameters of the cycle-driven simulation.
+
+    Attributes
+    ----------
+    n_participants:
+        Number of simulated personal devices.  The demo uses on the order of
+        10^3; Chiaroscuro targets 10^6 (costs are extrapolated).
+    churn_rate:
+        Per-cycle probability that an online participant goes offline
+        temporarily (honest-but-curious but possibly faulty devices).
+    rejoin_rate:
+        Per-cycle probability that an offline participant comes back online.
+    seed:
+        Master seed of the simulation; every stochastic component derives its
+        own named stream from it.
+    """
+
+    n_participants: int = 200
+    churn_rate: float = 0.0
+    rejoin_rate: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_participants, "n_participants")
+        check_probability(self.churn_rate, "churn_rate")
+        check_probability(self.rejoin_rate, "rejoin_rate")
+        check_non_negative_int(self.seed, "seed")
+
+
+@dataclass(frozen=True)
+class SmoothingConfig:
+    """Centroid-smoothing heuristic parameters (quality-enhancing heuristic #2).
+
+    Attributes
+    ----------
+    method:
+        ``"none"`` disables smoothing; ``"moving_average"`` applies a centred
+        moving average of width ``window``; ``"lowpass"`` keeps the
+        ``lowpass_cutoff`` fraction of low-frequency Fourier coefficients;
+        ``"exponential"`` applies exponential smoothing with factor ``alpha``.
+    window:
+        Window width of the moving average (odd values recommended).
+    lowpass_cutoff:
+        Fraction of Fourier coefficients preserved by the low-pass filter.
+    alpha:
+        Smoothing factor of the exponential smoother (0 < alpha <= 1).
+    """
+
+    method: str = "moving_average"
+    window: int = 3
+    lowpass_cutoff: float = 0.25
+    alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_in_choices(self.method, SMOOTHING_METHODS, "method")
+        check_positive_int(self.window, "window")
+        check_fraction_open(self.lowpass_cutoff, "lowpass_cutoff")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha}")
+
+
+@dataclass(frozen=True)
+class ChiaroscuroConfig:
+    """Complete configuration of a Chiaroscuro run.
+
+    The aggregate performs the cross-subsystem checks that individual
+    sub-configurations cannot perform on their own (e.g. the decryption
+    threshold must not exceed the population size).
+    """
+
+    kmeans: KMeansConfig = field(default_factory=KMeansConfig)
+    privacy: PrivacyConfig = field(default_factory=PrivacyConfig)
+    crypto: CryptoConfig = field(default_factory=CryptoConfig)
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    smoothing: SmoothingConfig = field(default_factory=SmoothingConfig)
+
+    def __post_init__(self) -> None:
+        if self.crypto.threshold > self.simulation.n_participants:
+            raise ConfigurationError(
+                "decryption threshold cannot exceed the number of participants "
+                f"({self.crypto.threshold} > {self.simulation.n_participants})"
+            )
+        if self.privacy.noise_shares > self.simulation.n_participants:
+            raise ConfigurationError(
+                "the number of noise shares cannot exceed the number of participants "
+                f"({self.privacy.noise_shares} > {self.simulation.n_participants})"
+            )
+        if self.kmeans.n_clusters > self.simulation.n_participants:
+            raise ConfigurationError(
+                "cannot ask for more clusters than participants "
+                f"({self.kmeans.n_clusters} > {self.simulation.n_participants})"
+            )
+
+    def with_overrides(self, **sections: Mapping[str, Any]) -> "ChiaroscuroConfig":
+        """Return a copy with selected fields of selected sections replaced.
+
+        Example
+        -------
+        >>> cfg = ChiaroscuroConfig()
+        >>> cfg2 = cfg.with_overrides(privacy={"epsilon": 0.5}, kmeans={"n_clusters": 3})
+        >>> cfg2.privacy.epsilon
+        0.5
+        """
+        valid = {
+            "kmeans", "privacy", "crypto", "gossip", "simulation", "smoothing",
+        }
+        updates: dict[str, Any] = {}
+        for section, fields_ in sections.items():
+            if section not in valid:
+                raise ConfigurationError(f"unknown configuration section {section!r}")
+            current = getattr(self, section)
+            updates[section] = replace(current, **dict(fields_))
+        return replace(self, **updates)
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """Return a plain nested dictionary view, convenient for logging."""
+        return {
+            "kmeans": vars(self.kmeans).copy(),
+            "privacy": vars(self.privacy).copy(),
+            "crypto": vars(self.crypto).copy(),
+            "gossip": vars(self.gossip).copy(),
+            "simulation": vars(self.simulation).copy(),
+            "smoothing": vars(self.smoothing).copy(),
+        }
+
+
+#: Default configuration mirroring the demonstration's default parameters.
+DEFAULT_CONFIG = ChiaroscuroConfig()

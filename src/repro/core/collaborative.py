@@ -1,0 +1,90 @@
+"""Collaborative (threshold) decryption inside the simulation.
+
+"The collaborative decryption is performed by getting from a sufficient
+number of distinct participants their partial decryptions" (paper, Section
+II.B).  In the simulation, key shares are held by the first ``n_shares``
+participants (a decryption committee); a participant wanting to decrypt its
+perturbed encrypted means sends each committee member the ciphertexts and
+receives a partial decryption back, then combines locally.  Message and byte
+counts are charged to the network so that the cost analysis reflects the
+decryption traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..crypto.backends import CipherBackend, PartialVectorDecryption
+from ..exceptions import ThresholdError
+from ..gossip.encrypted_sum import EncryptedEstimate, estimate_payload_bytes
+from ..simulation.engine import CycleEngine
+
+
+@dataclass(frozen=True)
+class DecryptionOutcome:
+    """Result of one collaborative decryption request."""
+
+    values: np.ndarray
+    helpers: tuple[int, ...]
+    messages: int
+    bytes_transferred: int
+
+
+def share_holder_ids(n_shares: int) -> list[int]:
+    """Node ids of the decryption committee (share *i+1* is held by node *i*)."""
+    return list(range(n_shares))
+
+
+def share_index_of(node_id: int, n_shares: int) -> int | None:
+    """Key-share index (1-based) held by *node_id*, or None."""
+    if 0 <= node_id < n_shares:
+        return node_id + 1
+    return None
+
+
+def collaborative_decrypt(
+    engine: CycleEngine,
+    requester_id: int,
+    backend: CipherBackend,
+    estimate: EncryptedEstimate,
+) -> DecryptionOutcome:
+    """Decrypt *estimate* by gathering partial decryptions from online helpers.
+
+    Raises :class:`ThresholdError` when fewer than ``backend.threshold``
+    committee members are currently online (the caller typically retries at
+    the next cycle).
+    """
+    online = set(engine.online_ids())
+    committee = [node_id for node_id in share_holder_ids(backend.n_shares) if node_id in online]
+    if len(committee) < backend.threshold:
+        raise ThresholdError(
+            f"only {len(committee)} of the {backend.threshold} required decryption "
+            "helpers are online"
+        )
+    helpers = committee[: backend.threshold]
+    request_bytes = estimate_payload_bytes(backend, estimate)
+    partials: list[PartialVectorDecryption] = []
+    messages = 0
+    bytes_transferred = 0
+    for helper_id in helpers:
+        engine.send(requester_id, helper_id, "decrypt-request", None, size_bytes=request_bytes)
+        messages += 1
+        bytes_transferred += request_bytes
+        share_index = share_index_of(helper_id, backend.n_shares)
+        if share_index is None:  # pragma: no cover - committee construction guarantees this
+            raise ThresholdError(f"node {helper_id} holds no key share")
+        partial = backend.partial_decrypt_vector(share_index, estimate.vector)
+        partials.append(partial)
+        engine.send(helper_id, requester_id, "decrypt-response", None, size_bytes=request_bytes)
+        messages += 1
+        bytes_transferred += request_bytes
+    combined = backend.combine_vector(partials)
+    values = combined / float(1 << estimate.halvings)
+    return DecryptionOutcome(
+        values=values,
+        helpers=tuple(helpers),
+        messages=messages,
+        bytes_transferred=bytes_transferred,
+    )

@@ -1,0 +1,74 @@
+"""Termination criteria of the Chiaroscuro execution sequence.
+
+The basic criterion is the one of Section II.A: stop when the distance
+between the perturbed centroids and the perturbed means falls below a
+threshold, or when the maximum number of iterations is reached.  Footnote 2
+of the paper notes that Chiaroscuro "supports the addition of other
+termination criteria for coping with the impact of the differentially-private
+perturbation on the convergence of centroids (e.g., monitoring centroids
+quality)"; the optional patience criterion below implements that idea by
+stopping once the displacement stops improving for a configured number of
+consecutive iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_non_negative_float, check_positive_int
+
+
+@dataclass
+class TerminationCriteria:
+    """Stateful termination decision shared by the protocol and baselines.
+
+    Parameters
+    ----------
+    convergence_threshold:
+        Displacement below which the run is declared converged.
+    max_iterations:
+        Hard cap on the number of iterations.
+    track_quality:
+        Enable the patience criterion (footnote 2 of the paper).
+    quality_patience:
+        Number of consecutive non-improving iterations tolerated when
+        ``track_quality`` is enabled.
+    """
+
+    convergence_threshold: float = 1e-3
+    max_iterations: int = 15
+    track_quality: bool = True
+    quality_patience: int = 3
+
+    def __post_init__(self) -> None:
+        check_non_negative_float(self.convergence_threshold, "convergence_threshold")
+        check_positive_int(self.max_iterations, "max_iterations")
+        check_positive_int(self.quality_patience, "quality_patience")
+        self._best_displacement: float | None = None
+        self._non_improving = 0
+
+    def reset(self) -> None:
+        """Forget the patience state (between runs)."""
+        self._best_displacement = None
+        self._non_improving = 0
+
+    def should_stop(self, iteration: int, displacement: float) -> tuple[bool, str]:
+        """Decide whether to stop after *iteration* with the given displacement.
+
+        Returns ``(stop, reason)`` where *reason* is one of ``"converged"``,
+        ``"max_iterations"``, ``"quality_plateau"`` or ``""`` (continue).
+        """
+        displacement = check_non_negative_float(displacement, "displacement")
+        if displacement <= self.convergence_threshold:
+            return True, "converged"
+        if iteration >= self.max_iterations:
+            return True, "max_iterations"
+        if self.track_quality:
+            if self._best_displacement is None or displacement < self._best_displacement:
+                self._best_displacement = displacement
+                self._non_improving = 0
+            else:
+                self._non_improving += 1
+                if self._non_improving >= self.quality_patience:
+                    return True, "quality_plateau"
+        return False, ""

@@ -1,0 +1,325 @@
+"""The Chiaroscuro participant: one personal device's state machine.
+
+Every participant runs the same code (the paper stresses that the execution
+sequence "is iterative, identical for all participants, and proceeds without
+any global synchronization").  The participant is a :class:`~repro.simulation.node.Node`
+whose ``next_cycle`` method implements the execution sequence of Section II.B:
+
+* **ASSIGN** (local) — find the closest perturbed centroid, draw the optional
+  noise-shares, and initialise the encrypted side of the diptych;
+* **GOSSIP** (distributed) — pairwise gossip exchanges averaging the
+  encrypted data and noise estimates with peers working on the same
+  iteration; late peers adopt the more advanced iteration they observe;
+* **DECRYPT** (distributed) — homomorphically add the noise estimates to the
+  data estimates and run the collaborative decryption with the committee;
+* **CONVERGE** (local, folded into the decrypt phase) — rebuild the perturbed
+  means, smooth them, check the termination criteria, and either finish or
+  start the next iteration with the perturbed means as new centroids.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from ..clustering.kmeans import centroid_displacement, reseed_centroid
+from ..clustering.smoothing import smooth_centroids
+from ..config import ChiaroscuroConfig
+from ..crypto.backends import CipherBackend
+from ..exceptions import ProtocolError, ThresholdError
+from ..gossip.encrypted_sum import add_estimates, estimate_payload_bytes
+from ..gossip.overlay import Overlay
+from ..privacy.budget import PrivacyAccountant
+from ..privacy.laplace import SensitivityModel
+from ..privacy.noise_shares import NoiseShareSpec, draw_noise_share
+from ..privacy.strategies import BudgetStrategy, make_budget_strategy
+from ..simulation.engine import CycleEngine
+from ..simulation.node import Node
+from .collaborative import collaborative_decrypt
+from .convergence import TerminationCriteria
+from .diptych import Diptych, build_contribution, merge_diptychs
+
+
+class Phase(enum.Enum):
+    """Protocol phases of a participant."""
+
+    ASSIGN = "assign"
+    GOSSIP = "gossip"
+    DECRYPT = "decrypt"
+    DONE = "done"
+
+
+class ChiaroscuroParticipant(Node):
+    """One simulated personal device participating in the clustering.
+
+    Parameters
+    ----------
+    node_id:
+        Simulation node id.
+    series_values:
+        The participant's personal time-series, already clipped to the public
+        value bound.
+    initial_centroids:
+        The shared, data-independent initial centroids (every participant
+        derives the same ones from the public seed).
+    config:
+        Full protocol configuration.
+    backend:
+        Shared cipher backend (public key material is common; the private key
+        shares are held by the decryption committee).
+    overlay:
+        Gossip overlay used for peer sampling.
+    noise_contributor:
+        Whether this participant draws noise-shares each iteration.
+    n_noise_contributors:
+        Total number of noise contributors (defines the share distribution).
+    seed:
+        Per-participant random seed (derived from the master seed).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        series_values: np.ndarray,
+        initial_centroids: np.ndarray,
+        config: ChiaroscuroConfig,
+        backend: CipherBackend,
+        overlay: Overlay,
+        noise_contributor: bool,
+        n_noise_contributors: int,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(node_id)
+        self.series_values = np.asarray(series_values, dtype=float)
+        if self.series_values.ndim != 1:
+            raise ProtocolError("series_values must be one-dimensional")
+        self.config = config
+        self.backend = backend
+        self.overlay = overlay
+        self.noise_contributor = noise_contributor
+        self.n_noise_contributors = max(1, int(n_noise_contributors))
+        self._rng = np.random.default_rng(seed)
+
+        self.centroids = np.asarray(initial_centroids, dtype=float).copy()
+        if self.centroids.shape[1] != self.series_values.shape[0]:
+            raise ProtocolError(
+                "centroid length differs from the participant's series length"
+            )
+        self.phase = Phase.ASSIGN
+        self.iteration = 0
+        self.diptych: Diptych | None = None
+        self.gossip_cycles_done = 0
+        self.assigned_cluster: int | None = None
+        self.assignment_history: list[int] = []
+        self.displacement_history: list[float] = []
+        self.perturbed_means_history: list[np.ndarray] = []
+        self.final_profiles: np.ndarray | None = None
+        self.stop_reason: str = ""
+        self.last_displacement: float | None = None
+
+        self.sensitivity = SensitivityModel(
+            series_length=self.series_values.shape[0],
+            value_bound=config.privacy.value_bound,
+            count_bound=config.privacy.count_bound,
+        )
+        self.accountant = PrivacyAccountant(
+            config.privacy.epsilon, config.privacy.delta_slack
+        )
+        self.strategy: BudgetStrategy = make_budget_strategy(
+            config.privacy.budget_strategy,
+            config.privacy.epsilon,
+            config.kmeans.max_iterations,
+            geometric_ratio=config.privacy.geometric_ratio,
+        )
+        self.termination = TerminationCriteria(
+            convergence_threshold=config.kmeans.convergence_threshold,
+            max_iterations=config.kmeans.max_iterations,
+            track_quality=config.kmeans.track_quality,
+            quality_patience=config.kmeans.quality_patience,
+        )
+
+    # ------------------------------------------------------------------ properties
+    @property
+    def is_done(self) -> bool:
+        """Whether this participant has produced its final profiles."""
+        return self.phase is Phase.DONE
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters k."""
+        return self.centroids.shape[0]
+
+    @property
+    def series_length(self) -> int:
+        """Length of the participant's series."""
+        return self.series_values.shape[0]
+
+    # ------------------------------------------------------------------ execution sequence
+    def next_cycle(self, engine: CycleEngine, cycle: int) -> None:
+        if self.phase is Phase.DONE:
+            return
+        if self.phase is Phase.ASSIGN:
+            self._assignment_step()
+            return
+        if self.phase is Phase.GOSSIP:
+            self._gossip_step(engine)
+            return
+        if self.phase is Phase.DECRYPT:
+            self._decrypt_and_converge(engine)
+
+    # -- Step 1: assignment (local) -------------------------------------------------
+    def _closest_centroid(self) -> int:
+        distances = np.linalg.norm(self.centroids - self.series_values[None, :], axis=1)
+        return int(np.argmin(distances))
+
+    def _iteration_epsilon(self) -> float:
+        progress = None
+        if self.last_displacement is not None:
+            # Normalise the displacement into a rough [0, 1] progress signal.
+            scale = max(self.config.privacy.value_bound, 1e-12)
+            progress = float(np.clip(1.0 - self.last_displacement / scale, 0.0, 1.0))
+        return self.strategy.epsilon_for_iteration(
+            self.iteration - 1, self.accountant.remaining_epsilon, progress=progress
+        )
+
+    def _draw_noise_shares(self, epsilon_iteration: float) -> list[np.ndarray] | None:
+        if not self.noise_contributor:
+            return None
+        scale = self.sensitivity.laplace_scale(epsilon_iteration)
+        spec = NoiseShareSpec(
+            scale=scale,
+            n_shares=self.n_noise_contributors,
+            vector_length=self.series_length + 1,
+        )
+        return [draw_noise_share(spec, self._rng) for _ in range(self.n_clusters)]
+
+    def _assignment_step(self) -> None:
+        self.iteration += 1
+        epsilon_iteration = self._iteration_epsilon()
+        if epsilon_iteration <= 0 or not self.accountant.can_spend(epsilon_iteration):
+            self._finish("budget_exhausted")
+            return
+        self.accountant.spend(epsilon_iteration, label=f"iteration-{self.iteration}")
+        self.assigned_cluster = self._closest_centroid()
+        self.assignment_history.append(self.assigned_cluster)
+        noise_shares = self._draw_noise_shares(epsilon_iteration)
+        data_estimates, noise_estimates = build_contribution(
+            self.backend,
+            self.series_values,
+            self.assigned_cluster,
+            self.n_clusters,
+            noise_shares=noise_shares,
+        )
+        self.diptych = Diptych(
+            centroids=self.centroids,
+            data_estimates=data_estimates,
+            noise_estimates=noise_estimates,
+        )
+        self.gossip_cycles_done = 0
+        self.phase = Phase.GOSSIP
+
+    # -- Step 2a/2b: gossip computation (distributed) --------------------------------
+    def _adopt_iteration(self, peer: "ChiaroscuroParticipant") -> None:
+        """Late-participant synchronisation: jump to the peer's iteration."""
+        self.centroids = peer.centroids.copy()
+        self.iteration = peer.iteration - 1
+        self.phase = Phase.ASSIGN
+        self._assignment_step()
+
+    def _gossip_step(self, engine: CycleEngine) -> None:
+        if self.diptych is None:  # pragma: no cover - state machine guarantees this
+            raise ProtocolError("gossip phase reached without a diptych")
+        rng = engine.rng_registry.stream(f"chiaroscuro.peer_sampling.{self.node_id}")
+        online = set(engine.online_ids())
+        for _ in range(self.config.gossip.exchanges_per_cycle):
+            peer_id = self.overlay.sample_neighbor(self.node_id, rng, online=online)
+            if peer_id is None:
+                break
+            peer = engine.node(peer_id)
+            if not isinstance(peer, ChiaroscuroParticipant):
+                raise ProtocolError("gossip exchange with a non-Chiaroscuro node")
+            if peer.is_done and peer.final_profiles is not None:
+                # A finished peer already holds the converged profiles; adopting
+                # them is the "late participants simply synchronize" behaviour.
+                self.centroids = peer.final_profiles.copy()
+                self._finish("synchronized")
+                return
+            if peer.iteration > self.iteration and not peer.is_done:
+                self._adopt_iteration(peer)
+                if self.phase is not Phase.GOSSIP:
+                    return
+                continue
+            if peer.phase is not Phase.GOSSIP or peer.iteration != self.iteration:
+                continue
+            if peer.diptych is None:
+                continue
+            payload = sum(
+                estimate_payload_bytes(self.backend, estimate)
+                for estimate in self.diptych.data_estimates + self.diptych.noise_estimates
+            )
+            delivered = engine.send(
+                self.node_id, peer_id, "diptych-exchange", None, size_bytes=payload
+            )
+            if not delivered:
+                continue
+            engine.send(peer_id, self.node_id, "diptych-reply", None, size_bytes=payload)
+            merge_diptychs(self.backend, self.diptych, peer.diptych)
+        self.gossip_cycles_done += 1
+        if self.gossip_cycles_done >= self.config.gossip.cycles_per_aggregation:
+            self.phase = Phase.DECRYPT
+
+    # -- Steps 2c/2d + 3: noise addition, decryption, convergence --------------------
+    def _decrypt_and_converge(self, engine: CycleEngine) -> None:
+        if self.diptych is None:  # pragma: no cover - state machine guarantees this
+            raise ProtocolError("decrypt phase reached without a diptych")
+        perturbed = np.empty((self.n_clusters, self.series_length))
+        counts = np.zeros(self.n_clusters)
+        min_count = 1.0 / (2.0 * max(1, engine.n_nodes))
+        try:
+            for cluster in range(self.n_clusters):
+                combined = add_estimates(
+                    self.backend,
+                    self.diptych.data_estimates[cluster],
+                    self.diptych.noise_estimates[cluster],
+                )
+                outcome = collaborative_decrypt(engine, self.node_id, self.backend, combined)
+                average_sum = outcome.values[: self.series_length]
+                average_count = float(outcome.values[self.series_length])
+                counts[cluster] = average_count
+                if average_count <= min_count:
+                    perturbed[cluster] = self.centroids[cluster]
+                else:
+                    perturbed[cluster] = average_sum / average_count
+        except ThresholdError:
+            # Not enough decryption helpers online this cycle; retry later.
+            return
+        bound = self.config.privacy.value_bound
+        perturbed = np.clip(perturbed, 0.0, bound)
+        # Empty-cluster repair: split the (noisily) largest cluster using only
+        # public randomness, so every participant derives the same replacement.
+        donor = int(np.argmax(counts))
+        for cluster in range(self.n_clusters):
+            if counts[cluster] <= min_count and cluster != donor:
+                perturbed[cluster] = reseed_centroid(
+                    perturbed[donor], bound, self.iteration, cluster,
+                    seed=self.config.simulation.seed,
+                )
+        perturbed = smooth_centroids(perturbed, self.config.smoothing)
+        displacement = centroid_displacement(self.centroids, perturbed)
+        self.last_displacement = displacement
+        self.displacement_history.append(displacement)
+        self.perturbed_means_history.append(perturbed.copy())
+        stop, reason = self.termination.should_stop(self.iteration, displacement)
+        self.centroids = perturbed
+        self.diptych = None
+        if stop:
+            self._finish(reason)
+        else:
+            self.phase = Phase.ASSIGN
+
+    def _finish(self, reason: str) -> None:
+        self.final_profiles = self.centroids.copy()
+        self.stop_reason = reason
+        self.phase = Phase.DONE

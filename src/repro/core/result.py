@@ -1,0 +1,143 @@
+"""Result objects of a Chiaroscuro run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from ..privacy.probabilistic import ProbabilisticGuarantee
+from .execution_log import ExecutionLog
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Aggregate cost measures of a run (claim C3 of the paper).
+
+    All figures are totals over the run unless stated otherwise.
+    """
+
+    n_participants: int
+    n_iterations: int
+    messages_sent: int
+    bytes_sent: int
+    encryptions: int
+    homomorphic_additions: int
+    partial_decryptions: int
+    combinations: int
+
+    @property
+    def messages_per_participant(self) -> float:
+        """Average messages sent per participant over the whole run."""
+        return self.messages_sent / max(1, self.n_participants)
+
+    @property
+    def bytes_per_participant(self) -> float:
+        """Average bytes sent per participant over the whole run."""
+        return self.bytes_sent / max(1, self.n_participants)
+
+    @property
+    def encryptions_per_participant(self) -> float:
+        """Average encryptions per participant over the whole run."""
+        return self.encryptions / max(1, self.n_participants)
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dictionary view (totals and per-participant averages)."""
+        return {
+            "n_participants": float(self.n_participants),
+            "n_iterations": float(self.n_iterations),
+            "messages_sent": float(self.messages_sent),
+            "bytes_sent": float(self.bytes_sent),
+            "encryptions": float(self.encryptions),
+            "homomorphic_additions": float(self.homomorphic_additions),
+            "partial_decryptions": float(self.partial_decryptions),
+            "combinations": float(self.combinations),
+            "messages_per_participant": self.messages_per_participant,
+            "bytes_per_participant": self.bytes_per_participant,
+            "encryptions_per_participant": self.encryptions_per_participant,
+        }
+
+
+@dataclass
+class ChiaroscuroResult:
+    """Outcome of a complete Chiaroscuro run.
+
+    Attributes
+    ----------
+    profiles:
+        The consensus final centroids (``(k, series_length)``): the average of
+        the participants' final profiles, which are all within gossip error of
+        each other.
+    assignments:
+        Final cluster assignment of every participant (index into
+        ``profiles``).
+    per_participant_profiles:
+        Final profiles as seen by each participant (participant id -> array);
+        the demo GUI shows that these views agree.
+    inertia:
+        Intra-cluster inertia of ``profiles`` on the participants' data.
+    n_iterations:
+        Number of protocol iterations executed (max over participants).
+    converged:
+        Whether any participant stopped because of the displacement criterion.
+    stop_reasons:
+        Participant stop reasons, as a histogram.
+    epsilon_spent:
+        Privacy budget consumed (max over participants — they follow the same
+        schedule, so this is also the per-participant spend).
+    guarantee:
+        Probabilistic differential-privacy guarantee achieved by the run.
+    costs:
+        Aggregate cost summary.
+    log:
+        The per-iteration execution log.
+    """
+
+    profiles: np.ndarray
+    assignments: np.ndarray
+    per_participant_profiles: dict[int, np.ndarray]
+    inertia: float
+    n_iterations: int
+    converged: bool
+    stop_reasons: dict[str, int]
+    epsilon_spent: float
+    guarantee: ProbabilisticGuarantee
+    costs: CostSummary
+    log: ExecutionLog
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of final profiles."""
+        return self.profiles.shape[0]
+
+    def profile(self, cluster: int) -> np.ndarray:
+        """The final profile (centroid) of one cluster."""
+        if not 0 <= cluster < self.n_clusters:
+            raise AnalysisError(f"cluster {cluster} outside [0, {self.n_clusters})")
+        return self.profiles[cluster]
+
+    def cluster_sizes(self) -> dict[int, int]:
+        """Number of participants assigned to each profile."""
+        unique, counts = np.unique(self.assignments, return_counts=True)
+        sizes = {int(cluster): 0 for cluster in range(self.n_clusters)}
+        sizes.update({int(cluster): int(count) for cluster, count in zip(unique, counts)})
+        return sizes
+
+    def summary(self) -> dict[str, Any]:
+        """Compact run summary used by reports and examples."""
+        return {
+            "n_clusters": self.n_clusters,
+            "n_participants": self.costs.n_participants,
+            "n_iterations": self.n_iterations,
+            "converged": self.converged,
+            "inertia": self.inertia,
+            "epsilon_spent": self.epsilon_spent,
+            "effective_epsilon": self.guarantee.effective_epsilon,
+            "delta": self.guarantee.delta,
+            "messages_per_participant": self.costs.messages_per_participant,
+            "bytes_per_participant": self.costs.bytes_per_participant,
+            "stop_reasons": dict(self.stop_reasons),
+        }

@@ -1,0 +1,338 @@
+"""High-level orchestration of a Chiaroscuro run.
+
+:func:`run_chiaroscuro` is the main entry point of the library: given a
+collection of personal time-series (each series conceptually living on its
+owner's device) and a configuration, it builds the simulation, runs the
+protocol to completion and returns a :class:`~repro.core.result.ChiaroscuroResult`
+containing the final profiles, the privacy accounting, the cost summary and
+the full execution log.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..clustering.kmeans import assign_to_centroids, compute_inertia, public_initial_centroids
+from ..config import ChiaroscuroConfig
+from ..crypto.backends import CipherBackend, make_backend
+from ..exceptions import ConfigurationError, ProtocolError
+from ..gossip.encrypted_sum import check_headroom
+from ..gossip.overlay import build_overlay
+from ..privacy.probabilistic import guarantee_for_run
+from ..simulation.engine import CycleEngine
+from ..timeseries import TimeSeriesCollection
+from .execution_log import ExecutionLog, IterationRecord
+from .participant import ChiaroscuroParticipant
+from .result import ChiaroscuroResult, CostSummary
+
+
+def normalize_collection(
+    collection: TimeSeriesCollection, value_bound: float
+) -> tuple[np.ndarray, dict[str, float]]:
+    """Min-max normalise a collection into [0, value_bound].
+
+    Returns the normalised matrix and the transform parameters needed to map
+    profiles back to the original units (``original = normalised / scale +
+    offset``).  The bounds are treated as public domain knowledge (e.g. "a
+    household draws between 0 and 10 kW"), which is the standard assumption
+    behind the clipping bound of the Laplace sensitivity.
+    """
+    matrix = collection.to_matrix()
+    low = float(matrix.min())
+    high = float(matrix.max())
+    span = high - low
+    if span <= 0:
+        span = 1.0
+    scale = value_bound / span
+    normalised = (matrix - low) * scale
+    return normalised, {"offset": low, "scale": scale, "value_bound": value_bound}
+
+
+def denormalize_profiles(profiles: np.ndarray, transform: dict[str, float]) -> np.ndarray:
+    """Map profiles produced on normalised data back to the original units."""
+    scale = float(transform.get("scale", 1.0))
+    offset = float(transform.get("offset", 0.0))
+    if scale == 0:
+        raise ProtocolError("invalid normalisation transform: scale is zero")
+    return profiles / scale + offset
+
+
+class _RunObserver:
+    """Engine observer that fills the execution log as iterations complete."""
+
+    def __init__(
+        self,
+        participants: list[ChiaroscuroParticipant],
+        data: np.ndarray,
+        initial_centroids: np.ndarray,
+        tracked_ids: list[int],
+        engine: CycleEngine,
+        backend: CipherBackend,
+        log: ExecutionLog,
+    ) -> None:
+        self._participants = participants
+        self._data = data
+        self._previous_centroids = initial_centroids.copy()
+        self._tracked_ids = tracked_ids
+        self._engine = engine
+        self._backend = backend
+        self._log = log
+        self._records_emitted = 0
+        self._last_messages = 0
+        self._last_bytes = 0
+        self._last_crypto = backend.counter.as_dict()
+
+    def _noise_free_means(self, iteration_index: int, reference: np.ndarray) -> np.ndarray:
+        """Means the iteration would produce without noise or gossip error."""
+        n_clusters = reference.shape[0]
+        means = reference.copy()
+        assignments: list[tuple[int, int]] = []
+        for participant in self._participants:
+            if len(participant.assignment_history) > iteration_index:
+                assignments.append(
+                    (participant.node_id, participant.assignment_history[iteration_index])
+                )
+        for cluster in range(n_clusters):
+            member_ids = [node_id for node_id, assigned in assignments if assigned == cluster]
+            if member_ids:
+                means[cluster] = self._data[member_ids].mean(axis=0)
+        return means
+
+    def after_cycle(self, engine: CycleEngine, cycle: int) -> None:
+        completed = max(len(p.perturbed_means_history) for p in self._participants)
+        while self._records_emitted < completed:
+            index = self._records_emitted
+            reporter = next(
+                p for p in self._participants if len(p.perturbed_means_history) > index
+            )
+            perturbed = reporter.perturbed_means_history[index]
+            crypto_now = self._backend.counter.as_dict()
+            costs = {
+                "messages_sent": float(engine.network.total.messages_sent - self._last_messages),
+                "bytes_sent": float(engine.network.total.bytes_sent - self._last_bytes),
+            }
+            for key, value in crypto_now.items():
+                costs[key] = float(value - self._last_crypto.get(key, 0))
+            self._last_messages = engine.network.total.messages_sent
+            self._last_bytes = engine.network.total.bytes_sent
+            self._last_crypto = crypto_now
+            tracked = {
+                node_id: self._participants[node_id].assignment_history[index]
+                for node_id in self._tracked_ids
+                if len(self._participants[node_id].assignment_history) > index
+            }
+            epsilon = 0.0
+            spends = list(reporter.accountant)
+            if index < len(spends):
+                epsilon = spends[index].epsilon
+            record = IterationRecord(
+                iteration=index + 1,
+                epsilon_spent=epsilon,
+                centroids_before=self._previous_centroids.copy(),
+                perturbed_means=perturbed.copy(),
+                noise_free_means=self._noise_free_means(index, perturbed),
+                displacement=reporter.displacement_history[index],
+                tracked_assignments=tracked,
+                costs=costs,
+            )
+            self._log.append(record)
+            self._previous_centroids = perturbed.copy()
+            self._records_emitted += 1
+
+
+def run_chiaroscuro(
+    collection: TimeSeriesCollection,
+    config: ChiaroscuroConfig | None = None,
+    normalize: bool = True,
+    n_tracked_participants: int = 4,
+    max_extra_cycles: int = 50,
+) -> ChiaroscuroResult:
+    """Run the complete Chiaroscuro protocol on a collection of time-series.
+
+    Parameters
+    ----------
+    collection:
+        One series per participant; the population size is the collection
+        size (the ``simulation.n_participants`` configuration field is
+        ignored in favour of it).
+    config:
+        Full protocol configuration (library defaults when omitted).
+    normalize:
+        Min-max normalise the data into [0, value_bound] before running
+        (recommended; the normalisation parameters are returned in the result
+        metadata so profiles can be mapped back to original units).
+    n_tracked_participants:
+        Number of participants whose per-iteration assignment is recorded in
+        the execution log (the demo GUI follows four of them).
+    max_extra_cycles:
+        Safety margin added to the theoretical number of cycles needed.
+
+    Returns
+    -------
+    ChiaroscuroResult
+    """
+    config = config if config is not None else ChiaroscuroConfig()
+    n_participants = len(collection)
+    if config.crypto.threshold > n_participants:
+        raise ConfigurationError(
+            "decryption threshold exceeds the number of participants "
+            f"({config.crypto.threshold} > {n_participants})"
+        )
+    if config.kmeans.n_clusters > n_participants:
+        raise ConfigurationError(
+            "cannot ask for more clusters than participants "
+            f"({config.kmeans.n_clusters} > {n_participants})"
+        )
+    value_bound = config.privacy.value_bound
+    if normalize:
+        data, transform = normalize_collection(collection, value_bound)
+    else:
+        data = np.clip(collection.to_matrix(), 0.0, value_bound)
+        transform = {"offset": 0.0, "scale": 1.0, "value_bound": value_bound}
+    n_participants, series_length = data.shape
+
+    backend = make_backend(
+        config.crypto.backend,
+        key_bits=config.crypto.key_bits,
+        degree=config.crypto.degree,
+        threshold=config.crypto.threshold,
+        n_shares=config.crypto.n_key_shares,
+        encoding_scale=config.crypto.encoding_scale,
+    )
+    # Each iteration performs at most ~2 * cycles averaging steps per estimate
+    # (own exchanges plus exchanges initiated by peers).
+    check_headroom(
+        backend,
+        value_bound=max(value_bound, 1.0),
+        total_halvings=2 * config.gossip.cycles_per_aggregation
+        * config.gossip.exchanges_per_cycle + 4,
+    )
+    overlay = build_overlay(
+        n_participants,
+        topology=config.gossip.topology,
+        degree=config.gossip.topology_degree,
+        rewiring_probability=config.gossip.rewiring_probability,
+        seed=config.simulation.seed,
+    )
+    initial_centroids = public_initial_centroids(
+        config.kmeans.n_clusters,
+        series_length,
+        value_low=0.0,
+        value_high=value_bound,
+        seed=config.simulation.seed,
+    )
+    master_rng = np.random.default_rng(config.simulation.seed)
+    n_noise_contributors = min(config.privacy.noise_shares, n_participants)
+    noise_contributor_ids = set(
+        master_rng.choice(n_participants, size=n_noise_contributors, replace=False).tolist()
+    )
+    participants = [
+        ChiaroscuroParticipant(
+            node_id=node_id,
+            series_values=data[node_id],
+            initial_centroids=initial_centroids,
+            config=config,
+            backend=backend,
+            overlay=overlay,
+            noise_contributor=node_id in noise_contributor_ids,
+            n_noise_contributors=n_noise_contributors,
+            seed=int(master_rng.integers(0, 2**31 - 1)),
+        )
+        for node_id in range(n_participants)
+    ]
+    engine = CycleEngine(
+        participants,
+        seed=config.simulation.seed,
+        churn_rate=config.simulation.churn_rate,
+        rejoin_rate=config.simulation.rejoin_rate,
+        drop_probability=config.gossip.drop_probability,
+    )
+    tracked_ids = sorted(
+        master_rng.choice(
+            n_participants,
+            size=min(n_tracked_participants, n_participants),
+            replace=False,
+        ).tolist()
+    )
+    log = ExecutionLog(metadata={
+        "dataset": collection.name,
+        "n_participants": n_participants,
+        "series_length": series_length,
+        "config": config.describe(),
+        "normalization": transform,
+        "tracked_participants": tracked_ids,
+    })
+    observer = _RunObserver(
+        participants, data, initial_centroids, tracked_ids, engine, backend, log
+    )
+    engine.add_observer(observer)
+
+    cycles_per_iteration = config.gossip.cycles_per_aggregation + 3
+    max_cycles = config.kmeans.max_iterations * cycles_per_iteration + max_extra_cycles
+    engine.run(max_cycles, stop_when=lambda eng: all(p.is_done for p in participants))
+    # Finish any straggler deterministically (e.g. nodes offline at the end).
+    for participant in participants:
+        if not participant.is_done:
+            participant.online = True
+    remaining_guard = 0
+    while not all(p.is_done for p in participants) and remaining_guard < max_cycles:
+        engine.run_cycle()
+        remaining_guard += 1
+
+    profiles_stack = np.stack([
+        p.final_profiles if p.final_profiles is not None else p.centroids
+        for p in participants
+    ])
+    profiles = profiles_stack.mean(axis=0)
+    assignments = assign_to_centroids(data, profiles)
+    inertia = compute_inertia(data, profiles, assignments)
+    epsilon_spent = max(p.accountant.spent_epsilon for p in participants)
+    n_iterations = max(p.iteration for p in participants)
+    stop_reasons: dict[str, int] = {}
+    for participant in participants:
+        reason = participant.stop_reason or "unfinished"
+        stop_reasons[reason] = stop_reasons.get(reason, 0) + 1
+    converged = any(
+        p.stop_reason in ("converged", "synchronized") for p in participants
+    )
+    guarantee = guarantee_for_run(
+        epsilon=max(epsilon_spent, 1e-12),
+        cycles=config.gossip.cycles_per_aggregation,
+        n_participants=n_participants,
+    )
+    crypto_counts = backend.counter.as_dict()
+    costs = CostSummary(
+        n_participants=n_participants,
+        n_iterations=n_iterations,
+        messages_sent=engine.network.total.messages_sent,
+        bytes_sent=engine.network.total.bytes_sent,
+        encryptions=crypto_counts["encryptions"],
+        homomorphic_additions=crypto_counts["additions"],
+        partial_decryptions=crypto_counts["partial_decryptions"],
+        combinations=crypto_counts["combinations"],
+    )
+    per_participant_profiles = {
+        p.node_id: (p.final_profiles if p.final_profiles is not None else p.centroids).copy()
+        for p in participants
+    }
+    metadata: dict[str, Any] = {
+        "normalization": transform,
+        "tracked_participants": tracked_ids,
+        "dataset": collection.name,
+    }
+    return ChiaroscuroResult(
+        profiles=profiles,
+        assignments=assignments,
+        per_participant_profiles=per_participant_profiles,
+        inertia=inertia,
+        n_iterations=n_iterations,
+        converged=converged,
+        stop_reasons=stop_reasons,
+        epsilon_spent=epsilon_spent,
+        guarantee=guarantee,
+        costs=costs,
+        log=log,
+        metadata=metadata,
+    )

@@ -1,0 +1,71 @@
+"""Cryptographic substrate: Paillier, Damgård–Jurik, threshold decryption,
+fixed-point encoding and the pluggable cipher backends used by the protocol."""
+
+from . import damgard_jurik, paillier
+from .backends import (
+    CipherBackend,
+    DamgardJurikBackend,
+    EncryptedVector,
+    OperationCounter,
+    PartialVectorDecryption,
+    PlainBackend,
+    make_backend,
+)
+from .damgard_jurik import (
+    DamgardJurikPrivateKey,
+    DamgardJurikPublicKey,
+    dlog_one_plus_n,
+    generate_keypair,
+)
+from .encoding import FixedPointCodec
+from .math_utils import (
+    crt_pair,
+    generate_prime,
+    is_probable_prime,
+    lcm,
+    mod_inverse,
+    random_coprime,
+)
+from .paillier import PaillierPrivateKey, PaillierPublicKey, generate_paillier_keypair
+from .threshold import (
+    KeyShare,
+    PartialDecryption,
+    ThresholdPublicKey,
+    combine_partial_decryptions,
+    generate_threshold_keypair,
+    partial_decrypt,
+    threshold_decrypt,
+)
+
+__all__ = [
+    "paillier",
+    "damgard_jurik",
+    "CipherBackend",
+    "DamgardJurikBackend",
+    "PlainBackend",
+    "EncryptedVector",
+    "PartialVectorDecryption",
+    "OperationCounter",
+    "make_backend",
+    "DamgardJurikPublicKey",
+    "DamgardJurikPrivateKey",
+    "generate_keypair",
+    "dlog_one_plus_n",
+    "FixedPointCodec",
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "generate_paillier_keypair",
+    "ThresholdPublicKey",
+    "KeyShare",
+    "PartialDecryption",
+    "generate_threshold_keypair",
+    "partial_decrypt",
+    "combine_partial_decryptions",
+    "threshold_decrypt",
+    "is_probable_prime",
+    "generate_prime",
+    "lcm",
+    "mod_inverse",
+    "crt_pair",
+    "random_coprime",
+]

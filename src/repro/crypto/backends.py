@@ -1,0 +1,439 @@
+"""Pluggable cipher backends used by the Chiaroscuro computation step.
+
+The demonstration (Section III.B of the paper) runs the protocol in two
+modes: with real homomorphic operations, or with homomorphic operations
+*disabled* — "the distributed algorithms are not changed whether homomorphic
+operations are enabled or not" — while their cost is accounted for from
+measurements.  This module reproduces exactly that design:
+
+* :class:`DamgardJurikBackend` performs real Damgård–Jurik threshold
+  encryption (any degree, any key size);
+* :class:`PlainBackend` carries the encoded integers in clear and treats the
+  "partial decryptions" as pass-through tokens, while counting the same
+  operations so that the cost model of :mod:`repro.analysis.costs` can charge
+  realistic times and bandwidth.
+
+Both expose the same :class:`CipherBackend` interface, so the protocol code
+is byte-for-byte identical under either backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import CryptoError, ThresholdError, ValidationError
+from . import damgard_jurik as dj
+from .encoding import FixedPointCodec
+from .threshold import (
+    KeyShare,
+    PartialDecryption,
+    ThresholdPublicKey,
+    combine_partial_decryptions,
+    generate_threshold_keypair,
+    partial_decrypt,
+)
+
+
+@dataclass
+class OperationCounter:
+    """Counts of cryptographic operations, used by the cost model."""
+
+    encryptions: int = 0
+    additions: int = 0
+    partial_decryptions: int = 0
+    combinations: int = 0
+
+    def merge(self, other: "OperationCounter") -> "OperationCounter":
+        """Return a new counter with the element-wise sums."""
+        return OperationCounter(
+            encryptions=self.encryptions + other.encryptions,
+            additions=self.additions + other.additions,
+            partial_decryptions=self.partial_decryptions + other.partial_decryptions,
+            combinations=self.combinations + other.combinations,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dictionary view (for logs and reports)."""
+        return {
+            "encryptions": self.encryptions,
+            "additions": self.additions,
+            "partial_decryptions": self.partial_decryptions,
+            "combinations": self.combinations,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.encryptions = 0
+        self.additions = 0
+        self.partial_decryptions = 0
+        self.combinations = 0
+
+
+@dataclass(frozen=True)
+class EncryptedVector:
+    """An element-wise encrypted vector (one ciphertext per component).
+
+    The payload is backend-specific: Damgård–Jurik ciphertexts for the real
+    backend, fixed-point encoded integers for the plain backend.  Protocol
+    code never inspects the payload; it only passes vectors back to the
+    backend that produced them.
+    """
+
+    payload: tuple[int, ...]
+    backend_name: str
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class PartialVectorDecryption:
+    """The partial decryption of every component of an encrypted vector."""
+
+    share_index: int
+    payload: tuple[int, ...]
+    backend_name: str
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+class CipherBackend(ABC):
+    """Interface every cipher backend implements.
+
+    The protocol uses only these operations: encrypt a real-valued vector,
+    encrypt a zero vector, add two encrypted vectors, produce a partial
+    decryption with one key share, and combine enough partial decryptions
+    back into a real-valued vector.
+    """
+
+    #: Short identifier, also stamped on the vectors the backend produces.
+    name: str = "abstract"
+
+    def __init__(self, codec: FixedPointCodec, threshold: int, n_shares: int) -> None:
+        if threshold > n_shares:
+            raise ValidationError(
+                f"threshold ({threshold}) cannot exceed n_shares ({n_shares})"
+            )
+        self.codec = codec
+        self.threshold = threshold
+        self.n_shares = n_shares
+        self.counter = OperationCounter()
+
+    # ------------------------------------------------------------------ helpers
+    def _check_vector(self, vector: EncryptedVector) -> None:
+        if vector.backend_name != self.name:
+            raise CryptoError(
+                f"vector produced by backend {vector.backend_name!r} passed to {self.name!r}"
+            )
+
+    @property
+    @abstractmethod
+    def ciphertext_bits(self) -> int:
+        """Size in bits of one ciphertext (for the network cost model)."""
+
+    # ------------------------------------------------------------------ interface
+    @abstractmethod
+    def encrypt_vector(self, values: Sequence[float] | np.ndarray) -> EncryptedVector:
+        """Encrypt a real-valued vector component-wise."""
+
+    @abstractmethod
+    def encrypt_integer_vector(self, values: Sequence[int]) -> EncryptedVector:
+        """Encrypt a vector of exact integers (e.g. cluster counts)."""
+
+    @abstractmethod
+    def encrypt_zero_vector(self, length: int) -> EncryptedVector:
+        """Encrypt the all-zero vector of the given length."""
+
+    @abstractmethod
+    def add(self, first: EncryptedVector, second: EncryptedVector) -> EncryptedVector:
+        """Homomorphically add two encrypted vectors component-wise."""
+
+    @abstractmethod
+    def multiply_scalar(self, vector: EncryptedVector, factor: int) -> EncryptedVector:
+        """Homomorphically multiply every component by a public integer factor.
+
+        The encrypted gossip averaging uses this with powers of two to bring
+        two estimates to a common fixed-point exponent before adding them.
+        """
+
+    @abstractmethod
+    def partial_decrypt_vector(
+        self, share_index: int, vector: EncryptedVector
+    ) -> PartialVectorDecryption:
+        """Produce the partial decryption of a vector with one key share."""
+
+    @abstractmethod
+    def combine_vector(
+        self, partials: Sequence[PartialVectorDecryption], integer: bool = False
+    ) -> np.ndarray:
+        """Combine partial decryptions into the decoded real-valued vector.
+
+        When *integer* is true the components are decoded as exact integers
+        (cluster counts) instead of fixed-point reals.
+        """
+
+    # ------------------------------------------------------------------ conveniences
+    def decrypt_with_shares(
+        self, vector: EncryptedVector, share_indices: Sequence[int], integer: bool = False
+    ) -> np.ndarray:
+        """Partial-decrypt with the given shares then combine (testing helper)."""
+        partials = [self.partial_decrypt_vector(index, vector) for index in share_indices]
+        return self.combine_vector(partials, integer=integer)
+
+
+class DamgardJurikBackend(CipherBackend):
+    """Backend performing real Damgård–Jurik threshold encryption."""
+
+    name = "damgard_jurik"
+
+    def __init__(
+        self,
+        key_bits: int = 512,
+        degree: int = 1,
+        threshold: int = 3,
+        n_shares: int = 8,
+        encoding_scale: int = 10**6,
+    ) -> None:
+        public, shares, dealer_key = generate_threshold_keypair(
+            key_bits=key_bits, s=degree, threshold=threshold, n_shares=n_shares
+        )
+        codec = FixedPointCodec(modulus=public.public_key.plaintext_modulus, scale=encoding_scale)
+        super().__init__(codec=codec, threshold=threshold, n_shares=n_shares)
+        self.threshold_public: ThresholdPublicKey = public
+        self._shares: dict[int, KeyShare] = {share.index: share for share in shares}
+        self._dealer_key = dealer_key
+
+    # ------------------------------------------------------------------ properties
+    @property
+    def public_key(self) -> dj.DamgardJurikPublicKey:
+        """The underlying Damgård–Jurik public key."""
+        return self.threshold_public.public_key
+
+    @property
+    def ciphertext_bits(self) -> int:
+        return self.public_key.ciphertext_bits
+
+    def share_for(self, index: int) -> KeyShare:
+        """Return the key share with 1-based index *index*."""
+        try:
+            return self._shares[index]
+        except KeyError as exc:
+            raise ThresholdError(f"no key share with index {index}") from exc
+
+    # ------------------------------------------------------------------ interface
+    def encrypt_vector(self, values: Sequence[float] | np.ndarray) -> EncryptedVector:
+        encoded = self.codec.encode_vector(values)
+        ciphertexts = tuple(dj.encrypt(self.public_key, value) for value in encoded)
+        self.counter.encryptions += len(ciphertexts)
+        return EncryptedVector(payload=ciphertexts, backend_name=self.name)
+
+    def encrypt_integer_vector(self, values: Sequence[int]) -> EncryptedVector:
+        encoded = [self.codec.encode_integer(int(value)) for value in values]
+        ciphertexts = tuple(dj.encrypt(self.public_key, value) for value in encoded)
+        self.counter.encryptions += len(ciphertexts)
+        return EncryptedVector(payload=ciphertexts, backend_name=self.name)
+
+    def encrypt_zero_vector(self, length: int) -> EncryptedVector:
+        ciphertexts = tuple(dj.encrypt(self.public_key, 0) for _ in range(length))
+        self.counter.encryptions += length
+        return EncryptedVector(payload=ciphertexts, backend_name=self.name)
+
+    def add(self, first: EncryptedVector, second: EncryptedVector) -> EncryptedVector:
+        self._check_vector(first)
+        self._check_vector(second)
+        if len(first) != len(second):
+            raise CryptoError(f"vector lengths differ: {len(first)} vs {len(second)}")
+        summed = tuple(
+            dj.add_ciphertexts(self.public_key, a, b)
+            for a, b in zip(first.payload, second.payload)
+        )
+        self.counter.additions += len(summed)
+        return EncryptedVector(payload=summed, backend_name=self.name)
+
+    def multiply_scalar(self, vector: EncryptedVector, factor: int) -> EncryptedVector:
+        self._check_vector(vector)
+        if factor < 0:
+            raise CryptoError("scalar factors must be non-negative integers")
+        scaled = tuple(
+            dj.multiply_plaintext(self.public_key, ciphertext, factor)
+            for ciphertext in vector.payload
+        )
+        self.counter.additions += len(scaled)
+        return EncryptedVector(payload=scaled, backend_name=self.name)
+
+    def partial_decrypt_vector(
+        self, share_index: int, vector: EncryptedVector
+    ) -> PartialVectorDecryption:
+        self._check_vector(vector)
+        share = self.share_for(share_index)
+        payload = tuple(
+            partial_decrypt(self.threshold_public, share, ciphertext).value
+            for ciphertext in vector.payload
+        )
+        self.counter.partial_decryptions += len(payload)
+        return PartialVectorDecryption(
+            share_index=share_index, payload=payload, backend_name=self.name
+        )
+
+    def combine_vector(
+        self, partials: Sequence[PartialVectorDecryption], integer: bool = False
+    ) -> np.ndarray:
+        if not partials:
+            raise ThresholdError("no partial decryptions supplied")
+        lengths = {len(partial) for partial in partials}
+        if len(lengths) != 1:
+            raise ThresholdError("partial decryptions have inconsistent lengths")
+        for partial in partials:
+            if partial.backend_name != self.name:
+                raise CryptoError("partial decryption from a different backend")
+        length = lengths.pop()
+        decoded = np.empty(length, dtype=float)
+        for component in range(length):
+            component_partials = [
+                PartialDecryption(index=partial.share_index, value=partial.payload[component])
+                for partial in partials
+            ]
+            plaintext = combine_partial_decryptions(self.threshold_public, component_partials)
+            if integer:
+                decoded[component] = float(self.codec.decode_integer(plaintext))
+            else:
+                decoded[component] = self.codec.decode(plaintext)
+        self.counter.combinations += length
+        return decoded
+
+
+class PlainBackend(CipherBackend):
+    """Backend reproducing the demo's "homomorphic operations disabled" mode.
+
+    Values travel as fixed-point encoded integers; additions are integer
+    additions modulo the codec modulus, and partial decryptions are
+    pass-through tokens (the combination step simply checks that enough
+    distinct tokens were gathered, mirroring the threshold rule).  Operation
+    counts are identical to the real backend's, so the cost model can charge
+    measured per-operation times.
+    """
+
+    name = "plain"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        n_shares: int = 8,
+        encoding_scale: int = 10**6,
+        modulus_bits: int = 256,
+        simulated_ciphertext_bits: int = 4096,
+    ) -> None:
+        codec = FixedPointCodec(modulus=1 << modulus_bits, scale=encoding_scale)
+        super().__init__(codec=codec, threshold=threshold, n_shares=n_shares)
+        self._simulated_ciphertext_bits = simulated_ciphertext_bits
+
+    @property
+    def ciphertext_bits(self) -> int:
+        return self._simulated_ciphertext_bits
+
+    # ------------------------------------------------------------------ interface
+    def encrypt_vector(self, values: Sequence[float] | np.ndarray) -> EncryptedVector:
+        encoded = tuple(self.codec.encode_vector(values))
+        self.counter.encryptions += len(encoded)
+        return EncryptedVector(payload=encoded, backend_name=self.name)
+
+    def encrypt_integer_vector(self, values: Sequence[int]) -> EncryptedVector:
+        encoded = tuple(self.codec.encode_integer(int(value)) for value in values)
+        self.counter.encryptions += len(encoded)
+        return EncryptedVector(payload=encoded, backend_name=self.name)
+
+    def encrypt_zero_vector(self, length: int) -> EncryptedVector:
+        self.counter.encryptions += length
+        return EncryptedVector(payload=(0,) * length, backend_name=self.name)
+
+    def add(self, first: EncryptedVector, second: EncryptedVector) -> EncryptedVector:
+        self._check_vector(first)
+        self._check_vector(second)
+        if len(first) != len(second):
+            raise CryptoError(f"vector lengths differ: {len(first)} vs {len(second)}")
+        modulus = self.codec.modulus
+        summed = tuple((a + b) % modulus for a, b in zip(first.payload, second.payload))
+        self.counter.additions += len(summed)
+        return EncryptedVector(payload=summed, backend_name=self.name)
+
+    def multiply_scalar(self, vector: EncryptedVector, factor: int) -> EncryptedVector:
+        self._check_vector(vector)
+        if factor < 0:
+            raise CryptoError("scalar factors must be non-negative integers")
+        modulus = self.codec.modulus
+        scaled = tuple((value * factor) % modulus for value in vector.payload)
+        self.counter.additions += len(scaled)
+        return EncryptedVector(payload=scaled, backend_name=self.name)
+
+    def partial_decrypt_vector(
+        self, share_index: int, vector: EncryptedVector
+    ) -> PartialVectorDecryption:
+        self._check_vector(vector)
+        if not 1 <= share_index <= self.n_shares:
+            raise ThresholdError(f"no key share with index {share_index}")
+        self.counter.partial_decryptions += len(vector)
+        return PartialVectorDecryption(
+            share_index=share_index, payload=vector.payload, backend_name=self.name
+        )
+
+    def combine_vector(
+        self, partials: Sequence[PartialVectorDecryption], integer: bool = False
+    ) -> np.ndarray:
+        if not partials:
+            raise ThresholdError("no partial decryptions supplied")
+        distinct = {partial.share_index for partial in partials}
+        if len(distinct) < self.threshold:
+            raise ThresholdError(
+                f"need at least {self.threshold} distinct partial decryptions, got {len(distinct)}"
+            )
+        payloads = {partial.payload for partial in partials}
+        if len(payloads) != 1:
+            raise ThresholdError("partial decryptions disagree; vectors were not identical")
+        payload = payloads.pop()
+        self.counter.combinations += len(payload)
+        if integer:
+            return np.array(
+                [float(self.codec.decode_integer(value)) for value in payload], dtype=float
+            )
+        return self.codec.decode_vector(payload)
+
+
+def make_backend(
+    backend: str,
+    key_bits: int = 512,
+    degree: int = 1,
+    threshold: int = 3,
+    n_shares: int = 8,
+    encoding_scale: int = 10**6,
+) -> CipherBackend:
+    """Factory mapping a configuration string to a backend instance.
+
+    ``"paillier"`` is the degree-1 Damgård–Jurik scheme (they coincide), kept
+    as a separate name for clarity in configurations.
+    """
+    if backend == "damgard_jurik":
+        return DamgardJurikBackend(
+            key_bits=key_bits,
+            degree=degree,
+            threshold=threshold,
+            n_shares=n_shares,
+            encoding_scale=encoding_scale,
+        )
+    if backend == "paillier":
+        return DamgardJurikBackend(
+            key_bits=key_bits,
+            degree=1,
+            threshold=threshold,
+            n_shares=n_shares,
+            encoding_scale=encoding_scale,
+        )
+    if backend == "plain":
+        return PlainBackend(
+            threshold=threshold, n_shares=n_shares, encoding_scale=encoding_scale
+        )
+    raise ValidationError(f"unknown backend {backend!r}")

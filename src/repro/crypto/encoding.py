@@ -1,0 +1,125 @@
+"""Fixed-point encoding of real-valued time-series into the plaintext space.
+
+Homomorphic schemes operate on integers modulo n^s while time-series points
+are real numbers.  Chiaroscuro therefore encodes every value as a fixed-point
+integer (``round(value * scale)``) before encryption and decodes after
+decryption.  Because the protocol only ever *adds* encrypted values (gossip
+sums of per-cluster sums, counts and noise shares), the scale is preserved by
+every homomorphic operation and decoding is exact up to the quantisation
+step.
+
+Negative values are mapped to the upper half of the plaintext space
+(two's-complement style), so sums of positive and negative contributions
+decode correctly as long as the true magnitude stays below
+``modulus // (2 * headroom)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import EncodingOverflowError, ValidationError
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Deterministic fixed-point codec for a given plaintext modulus.
+
+    Attributes
+    ----------
+    modulus:
+        Plaintext modulus n^s of the encryption scheme (or any power of ten
+        for the plain backend).
+    scale:
+        Fixed-point scale; ``value`` is encoded as ``round(value * scale)``.
+    """
+
+    modulus: int
+    scale: int = 10**6
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.modulus, "modulus")
+        check_positive_int(self.scale, "scale")
+        if self.modulus <= 4 * self.scale:
+            raise ValidationError(
+                "plaintext modulus is too small for the requested scale "
+                f"(modulus={self.modulus}, scale={self.scale})"
+            )
+
+    @property
+    def half_modulus(self) -> int:
+        """Boundary between the positive and negative halves of the space."""
+        return self.modulus // 2
+
+    @property
+    def max_absolute_value(self) -> float:
+        """Largest real magnitude that can be encoded without wrapping."""
+        return self.half_modulus / self.scale
+
+    # ------------------------------------------------------------------ scalars
+    def encode(self, value: float) -> int:
+        """Encode one real number into the plaintext space."""
+        if not np.isfinite(value):
+            raise ValidationError(f"cannot encode non-finite value {value!r}")
+        fixed = int(round(float(value) * self.scale))
+        if abs(fixed) >= self.half_modulus:
+            raise EncodingOverflowError(
+                f"value {value} does not fit: |{fixed}| >= modulus/2 ({self.half_modulus})"
+            )
+        return fixed % self.modulus
+
+    def decode(self, encoded: int) -> float:
+        """Decode one plaintext-space integer back into a real number."""
+        encoded = int(encoded) % self.modulus
+        if encoded >= self.half_modulus:
+            encoded -= self.modulus
+        return encoded / self.scale
+
+    def encode_integer(self, value: int) -> int:
+        """Encode an exact integer (e.g. a cluster count) without scaling."""
+        if abs(int(value)) >= self.half_modulus:
+            raise EncodingOverflowError(f"integer {value} does not fit in the plaintext space")
+        return int(value) % self.modulus
+
+    def decode_integer(self, encoded: int) -> int:
+        """Decode an exact (unscaled) integer."""
+        encoded = int(encoded) % self.modulus
+        if encoded >= self.half_modulus:
+            encoded -= self.modulus
+        return encoded
+
+    # ------------------------------------------------------------------ vectors
+    def encode_vector(self, values: Sequence[float] | np.ndarray) -> list[int]:
+        """Encode every component of a vector."""
+        return [self.encode(float(value)) for value in np.asarray(values, dtype=float).ravel()]
+
+    def decode_vector(self, encoded: Sequence[int]) -> np.ndarray:
+        """Decode a vector of plaintext-space integers."""
+        return np.array([self.decode(int(value)) for value in encoded], dtype=float)
+
+    # ------------------------------------------------------------------ safety
+    def max_safe_terms(self, value_bound: float) -> int:
+        """How many values bounded by *value_bound* can be summed without overflow.
+
+        The Chiaroscuro computation step sums at most ``n_participants``
+        encodings plus the noise shares; callers use this bound to check that
+        the configured key size leaves enough headroom.
+        """
+        if value_bound <= 0:
+            raise ValidationError(f"value_bound must be > 0, got {value_bound}")
+        per_term = int(round(value_bound * self.scale)) + 1
+        return max(0, (self.half_modulus - 1) // per_term)
+
+    def check_sum_capacity(self, value_bound: float, n_terms: int) -> None:
+        """Raise :class:`EncodingOverflowError` if summing would overflow."""
+        allowed = self.max_safe_terms(value_bound)
+        if n_terms > allowed:
+            raise EncodingOverflowError(
+                f"summing {n_terms} values bounded by {value_bound} may overflow; "
+                f"the codec supports at most {allowed} such terms "
+                f"(modulus={self.modulus}, scale={self.scale})"
+            )

@@ -1,0 +1,134 @@
+"""The Paillier additively-homomorphic cryptosystem.
+
+Paillier is the degree-1 special case of the Damgård–Jurik scheme the paper
+uses.  It is implemented separately both as an accessible reference and as a
+cross-check for the generalised implementation (the two must agree on the
+degree-1 plaintext space).
+
+Scheme summary (Paillier 1999, simplified variant with g = n + 1):
+
+* key generation: n = p*q with p, q large primes, λ = lcm(p-1, q-1),
+  μ = λ^{-1} mod n;
+* encryption of m in Z_n with randomness r in Z_n^*:
+  c = (1 + n)^m * r^n mod n^2;
+* decryption: m = L(c^λ mod n^2) * μ mod n, where L(u) = (u - 1) / n;
+* additive homomorphism: c1 * c2 encrypts m1 + m2; c^k encrypts k*m.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import DecryptionError, EncryptionError, KeyGenerationError
+from .math_utils import generate_distinct_primes, lcm, mod_inverse, random_coprime
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key: the modulus *n* (g is fixed to n + 1)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        """Ciphertext modulus n^2."""
+        return self.n * self.n
+
+    @property
+    def plaintext_modulus(self) -> int:
+        """Size of the plaintext space (Z_n)."""
+        return self.n
+
+    @property
+    def key_bits(self) -> int:
+        """Bit length of the modulus."""
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key: λ = lcm(p-1, q-1) and μ = λ^{-1} mod n."""
+
+    public_key: PaillierPublicKey
+    lam: int
+    mu: int
+
+
+def generate_paillier_keypair(key_bits: int = 2048) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier key pair with a modulus of roughly *key_bits* bits."""
+    if key_bits < 16:
+        raise KeyGenerationError(f"key_bits must be at least 16, got {key_bits}")
+    prime_bits = key_bits // 2
+    for _ in range(64):
+        p, q = generate_distinct_primes(prime_bits)
+        n = p * q
+        lam = lcm(p - 1, q - 1)
+        if math.gcd(n, lam) != 1:
+            continue  # rare for random primes; retry to keep decryption valid
+        public = PaillierPublicKey(n)
+        mu = mod_inverse(lam, n)
+        return public, PaillierPrivateKey(public, lam, mu)
+    raise KeyGenerationError("could not generate a valid Paillier key pair")
+
+
+def encrypt(public_key: PaillierPublicKey, plaintext: int, randomness: int | None = None) -> int:
+    """Encrypt *plaintext* (an integer in Z_n) under *public_key*."""
+    n = public_key.n
+    n_squared = public_key.n_squared
+    if not 0 <= plaintext < n:
+        raise EncryptionError(f"plaintext must be in [0, n), got {plaintext}")
+    if randomness is None:
+        randomness = random_coprime(n)
+    elif math.gcd(randomness, n) != 1:
+        raise EncryptionError("randomness must be coprime with n")
+    # (1 + n)^m mod n^2 == 1 + m*n mod n^2, which avoids one modular exponentiation.
+    g_to_m = (1 + plaintext * n) % n_squared
+    return (g_to_m * pow(randomness, n, n_squared)) % n_squared
+
+
+def decrypt(private_key: PaillierPrivateKey, ciphertext: int) -> int:
+    """Decrypt *ciphertext* with *private_key* and return the plaintext in Z_n."""
+    public = private_key.public_key
+    n, n_squared = public.n, public.n_squared
+    if not 0 <= ciphertext < n_squared:
+        raise DecryptionError(f"ciphertext must be in [0, n^2), got {ciphertext}")
+    if math.gcd(ciphertext, n_squared) != 1:
+        raise DecryptionError("ciphertext is not invertible modulo n^2")
+    u = pow(ciphertext, private_key.lam, n_squared)
+    l_value = (u - 1) // n
+    return (l_value * private_key.mu) % n
+
+
+def add_ciphertexts(public_key: PaillierPublicKey, *ciphertexts: int) -> int:
+    """Homomorphic addition: the product of ciphertexts encrypts the sum."""
+    if not ciphertexts:
+        raise EncryptionError("add_ciphertexts requires at least one ciphertext")
+    result = 1
+    for ciphertext in ciphertexts:
+        result = (result * ciphertext) % public_key.n_squared
+    return result
+
+
+def add_plaintext(public_key: PaillierPublicKey, ciphertext: int, constant: int) -> int:
+    """Homomorphically add a public constant to an encrypted value."""
+    constant = constant % public_key.n
+    g_to_k = (1 + constant * public_key.n) % public_key.n_squared
+    return (ciphertext * g_to_k) % public_key.n_squared
+
+
+def multiply_plaintext(public_key: PaillierPublicKey, ciphertext: int, factor: int) -> int:
+    """Homomorphically multiply an encrypted value by a public integer factor."""
+    factor = factor % public_key.n
+    return pow(ciphertext, factor, public_key.n_squared)
+
+
+def rerandomize(public_key: PaillierPublicKey, ciphertext: int) -> int:
+    """Refresh the randomness of a ciphertext without changing its plaintext."""
+    blinder = pow(random_coprime(public_key.n), public_key.n, public_key.n_squared)
+    return (ciphertext * blinder) % public_key.n_squared
+
+
+def encrypt_zero(public_key: PaillierPublicKey) -> int:
+    """A fresh encryption of zero (used to initialise the non-assigned means)."""
+    return encrypt(public_key, 0)

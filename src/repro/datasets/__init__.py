@@ -1,0 +1,41 @@
+"""Dataset generators: CER-like electricity, NUMED-like tumor growth, synthetic."""
+
+from .cer import (
+    DEFAULT_ARCHETYPES,
+    CERConfig,
+    HouseholdArchetype,
+    generate_cer_like,
+)
+from .numed import (
+    DEFAULT_RESPONSE_ARCHETYPES,
+    NUMEDConfig,
+    ResponseArchetype,
+    claret_tumor_size,
+    generate_numed_like,
+)
+from .registry import available_datasets, load_dataset, register_dataset
+from .synthetic import (
+    GaussianClustersConfig,
+    generate_constant_series,
+    generate_gaussian_clusters,
+    generate_two_level_series,
+)
+
+__all__ = [
+    "CERConfig",
+    "HouseholdArchetype",
+    "DEFAULT_ARCHETYPES",
+    "generate_cer_like",
+    "NUMEDConfig",
+    "ResponseArchetype",
+    "DEFAULT_RESPONSE_ARCHETYPES",
+    "claret_tumor_size",
+    "generate_numed_like",
+    "GaussianClustersConfig",
+    "generate_gaussian_clusters",
+    "generate_constant_series",
+    "generate_two_level_series",
+    "available_datasets",
+    "load_dataset",
+    "register_dataset",
+]

@@ -1,0 +1,58 @@
+"""Dataset registry: look up generators by name.
+
+The demonstration lets the audience switch use-case ("electrical consumption
+time-series or tumor-size growth"); the registry is the programmatic
+equivalent, so examples and benchmarks can select a dataset with a string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..exceptions import DatasetError
+from ..timeseries import TimeSeriesCollection
+from .cer import generate_cer_like
+from .numed import generate_numed_like
+from .synthetic import generate_gaussian_clusters
+
+DatasetFactory = Callable[..., TimeSeriesCollection]
+
+_REGISTRY: dict[str, DatasetFactory] = {}
+
+
+def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False) -> None:
+    """Register *factory* under *name*.
+
+    Raises :class:`DatasetError` if the name is already taken and
+    ``overwrite`` is false.
+    """
+    if not name:
+        raise DatasetError("dataset name must not be empty")
+    if name in _REGISTRY and not overwrite:
+        raise DatasetError(f"dataset {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of all registered datasets."""
+    return tuple(sorted(_REGISTRY))
+
+
+def load_dataset(name: str, **parameters: object) -> TimeSeriesCollection:
+    """Instantiate the dataset registered under *name* with *parameters*."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {list(available_datasets())}"
+        ) from exc
+    return factory(**parameters)
+
+
+def _register_builtin() -> None:
+    register_dataset("cer", generate_cer_like, overwrite=True)
+    register_dataset("numed", generate_numed_like, overwrite=True)
+    register_dataset("gaussian", generate_gaussian_clusters, overwrite=True)
+
+
+_register_builtin()

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the Chiaroscuro reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still being able to discriminate finer-grained categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains inconsistent or invalid values."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, range, or type)."""
+
+
+class TimeSeriesError(ReproError):
+    """A time-series operation received incompatible series."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader was misused."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyGenerationError(CryptoError):
+    """Key generation failed (e.g. could not find suitable primes)."""
+
+
+class EncryptionError(CryptoError):
+    """Encryption of a plaintext failed."""
+
+
+class DecryptionError(CryptoError):
+    """Decryption failed (wrong key, corrupted ciphertext, bad shares)."""
+
+
+class EncodingOverflowError(CryptoError):
+    """A fixed-point encoded value does not fit in the plaintext space."""
+
+
+class ThresholdError(CryptoError):
+    """Not enough partial decryptions were supplied to recover a plaintext."""
+
+
+class PrivacyError(ReproError):
+    """Base class for differential-privacy failures."""
+
+
+class BudgetExhaustedError(PrivacyError):
+    """The privacy accountant refused an operation exceeding the budget."""
+
+
+class GossipError(ReproError):
+    """A gossip protocol was driven into an invalid state."""
+
+
+class SimulationError(ReproError):
+    """The cycle-driven simulation engine detected an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """The Chiaroscuro protocol detected an invalid state transition."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its allotted budget."""
+
+
+class AnalysisError(ReproError):
+    """An analysis or reporting helper received inconsistent inputs."""

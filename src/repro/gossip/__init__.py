@@ -1,0 +1,47 @@
+"""Gossip layer: overlays, cleartext averaging protocols and the encrypted
+gossip averaging primitive used by the Chiaroscuro computation step."""
+
+from .encrypted_sum import (
+    EncryptedAveragingNode,
+    EncryptedEstimate,
+    add_estimates,
+    average_estimates,
+    check_headroom,
+    decode_estimate,
+    encrypted_gossip_average,
+    estimate_payload_bytes,
+    fresh_estimate,
+    lift_estimate,
+    required_headroom_bits,
+    zero_estimate,
+)
+from .overlay import Overlay, build_overlay
+from .protocol import (
+    PushPullAveragingNode,
+    PushSumNode,
+    gossip_average,
+    max_relative_error,
+    mean_relative_error,
+)
+
+__all__ = [
+    "Overlay",
+    "build_overlay",
+    "PushPullAveragingNode",
+    "PushSumNode",
+    "gossip_average",
+    "max_relative_error",
+    "mean_relative_error",
+    "EncryptedEstimate",
+    "EncryptedAveragingNode",
+    "fresh_estimate",
+    "zero_estimate",
+    "lift_estimate",
+    "average_estimates",
+    "add_estimates",
+    "decode_estimate",
+    "estimate_payload_bytes",
+    "required_headroom_bits",
+    "check_headroom",
+    "encrypted_gossip_average",
+]

@@ -1,0 +1,127 @@
+"""Overlay topologies and peer sampling for the gossip layer.
+
+Gossip protocols need each participant to contact (almost) uniformly random
+peers.  In deployments this is provided by a peer-sampling service; in the
+simulation we materialise an overlay graph.  The complete graph gives exact
+uniform sampling (the default, matching the analysis of Kempe et al.); the
+other topologies let experiments study the impact of restricted connectivity.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .._validation import check_in_choices, check_positive_int, check_probability
+from ..exceptions import GossipError
+
+
+class Overlay:
+    """A static overlay graph with neighbour sampling.
+
+    Parameters
+    ----------
+    graph:
+        Undirected networkx graph whose nodes are exactly 0 .. n-1.
+    name:
+        Topology name (for logs and reports).
+    """
+
+    def __init__(self, graph: nx.Graph, name: str = "custom") -> None:
+        n = graph.number_of_nodes()
+        if n == 0:
+            raise GossipError("an overlay needs at least one node")
+        if sorted(graph.nodes) != list(range(n)):
+            raise GossipError("overlay nodes must be exactly 0 .. n-1")
+        self.graph = graph
+        self.name = name
+        self._neighbors: list[np.ndarray] = [
+            np.array(sorted(graph.neighbors(node)), dtype=int) for node in range(n)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the overlay."""
+        return self.graph.number_of_nodes()
+
+    def neighbors(self, node_id: int) -> np.ndarray:
+        """Neighbour ids of *node_id* (sorted, possibly empty)."""
+        self._check_node(node_id)
+        return self._neighbors[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Number of neighbours of *node_id*."""
+        return len(self.neighbors(node_id))
+
+    def sample_neighbor(
+        self, node_id: int, rng: np.random.Generator, online: set[int] | None = None
+    ) -> int | None:
+        """Uniformly random (online) neighbour of *node_id*, or None.
+
+        When *online* is given, only neighbours present in that set are
+        eligible (offline peers cannot answer a gossip exchange).
+        """
+        self._check_node(node_id)
+        candidates = self._neighbors[node_id]
+        if online is not None:
+            candidates = np.array([peer for peer in candidates if peer in online], dtype=int)
+        if candidates.size == 0:
+            return None
+        return int(candidates[int(rng.integers(0, candidates.size))])
+
+    def is_connected(self) -> bool:
+        """Whether the overlay is a connected graph (required for convergence)."""
+        if self.n_nodes == 1:
+            return True
+        return nx.is_connected(self.graph)
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.n_nodes:
+            raise GossipError(f"node id {node_id} outside [0, {self.n_nodes})")
+
+
+def build_overlay(
+    n_nodes: int,
+    topology: str = "complete",
+    degree: int = 8,
+    rewiring_probability: float = 0.1,
+    seed: int = 0,
+) -> Overlay:
+    """Build one of the supported overlay topologies.
+
+    ``complete`` — every pair connected (uniform peer sampling);
+    ``random_regular`` — random graph where every node has the same degree;
+    ``small_world`` — Watts–Strogatz ring with shortcuts;
+    ``ring`` — plain cycle (worst case for gossip diffusion).
+    """
+    check_positive_int(n_nodes, "n_nodes")
+    check_in_choices(topology, ("complete", "random_regular", "small_world", "ring"), "topology")
+    check_positive_int(degree, "degree")
+    check_probability(rewiring_probability, "rewiring_probability")
+    if n_nodes == 1:
+        graph = nx.Graph()
+        graph.add_node(0)
+        return Overlay(graph, name=topology)
+    if topology == "complete":
+        graph = nx.complete_graph(n_nodes)
+    elif topology == "ring":
+        graph = nx.cycle_graph(n_nodes)
+    elif topology == "random_regular":
+        effective_degree = min(degree, n_nodes - 1)
+        if (effective_degree * n_nodes) % 2 == 1:
+            effective_degree = max(1, effective_degree - 1)
+        graph = nx.random_regular_graph(effective_degree, n_nodes, seed=seed)
+    else:  # small_world
+        effective_degree = min(degree, n_nodes - 1)
+        if effective_degree % 2 == 1:
+            effective_degree = max(2, effective_degree - 1)
+        effective_degree = min(effective_degree, n_nodes - 1)
+        graph = nx.connected_watts_strogatz_graph(
+            n_nodes, effective_degree, rewiring_probability, tries=200, seed=seed
+        )
+    overlay = Overlay(graph, name=topology)
+    if not overlay.is_connected():
+        raise GossipError(
+            f"generated {topology} overlay with n={n_nodes}, degree={degree} is not connected"
+        )
+    return overlay

@@ -1,0 +1,111 @@
+"""The Laplace mechanism and the sensitivity model used by Chiaroscuro.
+
+At every iteration the protocol discloses, for each of the *k* clusters, the
+(perturbed) sum of the member time-series and the (perturbed) member count.
+Under the add/remove-one-individual neighbouring relation, one participant
+influences exactly one cluster: its series (clipped point-wise to
+``value_bound``) moves one cluster sum by at most ``series_length *
+value_bound`` in L1 norm and one count by 1.  The L1 sensitivity of the full
+per-iteration release is therefore ``series_length * value_bound +
+count_bound`` and the Laplace mechanism with scale ``sensitivity / epsilon``
+applied independently to every released coordinate guarantees
+ε-differential privacy for that iteration; iterations compose sequentially
+(see :mod:`repro.privacy.budget`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_float, check_positive_int
+from ..exceptions import PrivacyError
+
+
+@dataclass(frozen=True)
+class SensitivityModel:
+    """L1 sensitivity of one Chiaroscuro iteration's release.
+
+    Attributes
+    ----------
+    series_length:
+        Number of points per time-series (and per cluster-sum vector).
+    value_bound:
+        Public clipping bound on the absolute value of any series point.
+    count_bound:
+        Contribution of one individual to the cluster counts (1 by
+        definition; kept explicit for clarity and for variants).
+    """
+
+    series_length: int
+    value_bound: float = 1.0
+    count_bound: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.series_length, "series_length")
+        check_positive_float(self.value_bound, "value_bound")
+        check_positive_float(self.count_bound, "count_bound")
+
+    @property
+    def sum_sensitivity(self) -> float:
+        """L1 sensitivity of the per-cluster sum vectors."""
+        return self.series_length * self.value_bound
+
+    @property
+    def count_sensitivity(self) -> float:
+        """L1 sensitivity of the per-cluster counts."""
+        return self.count_bound
+
+    @property
+    def total_sensitivity(self) -> float:
+        """L1 sensitivity of the complete per-iteration release."""
+        return self.sum_sensitivity + self.count_sensitivity
+
+    def laplace_scale(self, epsilon: float) -> float:
+        """Laplace scale b = sensitivity / ε for a per-iteration budget ε."""
+        epsilon = check_positive_float(epsilon, "epsilon")
+        return self.total_sensitivity / epsilon
+
+
+def sample_laplace(
+    scale: float, size: int | tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Sample i.i.d. Laplace(0, scale) noise of the given shape."""
+    scale = check_positive_float(scale, "scale")
+    return rng.laplace(loc=0.0, scale=scale, size=size)
+
+
+def laplace_mechanism(
+    values: np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Centralised Laplace mechanism: add Laplace(sensitivity/ε) noise to *values*.
+
+    Used by the centralised DP baseline; the distributed protocol builds the
+    same noise from per-participant shares (:mod:`repro.privacy.noise_shares`).
+    """
+    values = np.asarray(values, dtype=float)
+    sensitivity = check_positive_float(sensitivity, "sensitivity")
+    epsilon = check_positive_float(epsilon, "epsilon")
+    scale = sensitivity / epsilon
+    return values + rng.laplace(loc=0.0, scale=scale, size=values.shape)
+
+
+def laplace_tail_probability(magnitude: float, scale: float) -> float:
+    """P(|X| > magnitude) for X ~ Laplace(0, scale).
+
+    Used when reporting the expected distortion of the perturbed centroids
+    and when sizing the probabilistic slack of the DP guarantee.
+    """
+    if magnitude < 0:
+        raise PrivacyError(f"magnitude must be >= 0, got {magnitude}")
+    scale = check_positive_float(scale, "scale")
+    return float(np.exp(-magnitude / scale))
+
+
+def expected_absolute_noise(scale: float) -> float:
+    """E[|X|] = scale for X ~ Laplace(0, scale)."""
+    return check_positive_float(scale, "scale")

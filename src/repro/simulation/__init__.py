@@ -1,0 +1,21 @@
+"""Cycle-driven simulation substrate (the Peersim role of the demo platform)."""
+
+from .engine import CycleEngine, run_until
+from .network import Message, Network, TrafficStats
+from .node import Node
+from .observers import CallbackObserver, HistoryObserver, Observer, OnlineCountObserver
+from .rng import RngRegistry
+
+__all__ = [
+    "CycleEngine",
+    "run_until",
+    "Network",
+    "Message",
+    "TrafficStats",
+    "Node",
+    "Observer",
+    "CallbackObserver",
+    "HistoryObserver",
+    "OnlineCountObserver",
+    "RngRegistry",
+]

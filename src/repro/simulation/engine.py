@@ -1,0 +1,195 @@
+"""The cycle-driven simulation engine (Peersim's cycle-based mode).
+
+The demonstration runs Chiaroscuro inside Peersim: each participant
+implements ``nextCycle`` and the simulator calls every participant once per
+cycle.  :class:`CycleEngine` reproduces that model:
+
+* nodes are registered once, each with a unique id;
+* :meth:`run` executes a number of cycles; within a cycle, online nodes are
+  visited in a freshly shuffled order (Peersim's default);
+* a simple churn model can take nodes offline and bring them back online
+  between cycles (the "possibly faulty computing nodes" of the paper);
+* observers are notified after every cycle;
+* all traffic goes through a :class:`~repro.simulation.network.Network`
+  instance so that per-participant communication costs can be reported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import check_non_negative_int, check_probability
+from ..exceptions import SimulationError
+from .network import Message, Network
+from .node import Node
+from .observers import Observer
+from .rng import RngRegistry
+
+
+class CycleEngine:
+    """Cycle-driven scheduler for a population of :class:`Node` objects.
+
+    Parameters
+    ----------
+    nodes:
+        The simulated participants; their ``node_id`` attributes must be
+        exactly 0 .. n-1 (any order).
+    seed:
+        Master seed of the run; every internal stream derives from it.
+    churn_rate:
+        Per-cycle probability that an online node goes offline.
+    rejoin_rate:
+        Per-cycle probability that an offline node comes back online.
+    drop_probability:
+        Per-message loss probability of the network.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        seed: int = 0,
+        churn_rate: float = 0.0,
+        rejoin_rate: float = 0.5,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if not nodes:
+            raise SimulationError("the engine needs at least one node")
+        ids = sorted(node.node_id for node in nodes)
+        if ids != list(range(len(nodes))):
+            raise SimulationError("node ids must be exactly 0 .. n-1 with no gaps")
+        self.nodes: list[Node] = sorted(nodes, key=lambda node: node.node_id)
+        self.rng_registry = RngRegistry(check_non_negative_int(seed, "seed"))
+        self.churn_rate = check_probability(churn_rate, "churn_rate")
+        self.rejoin_rate = check_probability(rejoin_rate, "rejoin_rate")
+        self.network = Network(
+            n_nodes=len(self.nodes),
+            drop_probability=drop_probability,
+            rng=self.rng_registry.stream("network.drops"),
+        )
+        self.observers: list[Observer] = []
+        self.current_cycle = -1
+        self._scheduler_rng = self.rng_registry.stream("engine.scheduler")
+        self._churn_rng = self.rng_registry.stream("engine.churn")
+
+    # ------------------------------------------------------------------ topology helpers
+    @property
+    def n_nodes(self) -> int:
+        """Total number of registered nodes (online or not)."""
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with the given id."""
+        if not 0 <= node_id < self.n_nodes:
+            raise SimulationError(f"node id {node_id} outside [0, {self.n_nodes})")
+        return self.nodes[node_id]
+
+    def online_nodes(self) -> list[Node]:
+        """Every node currently online."""
+        return [node for node in self.nodes if node.online]
+
+    def online_ids(self) -> list[int]:
+        """Ids of every node currently online."""
+        return [node.node_id for node in self.nodes if node.online]
+
+    def random_online_peer(self, exclude: int | None = None) -> Node | None:
+        """Uniformly random online node, optionally excluding one id.
+
+        Returns ``None`` when no eligible peer exists.  This is the uniform
+        peer-sampling service that the gossip layer uses when the overlay is
+        the complete graph.
+        """
+        candidates = [
+            node for node in self.nodes if node.online and node.node_id != exclude
+        ]
+        if not candidates:
+            return None
+        index = int(self._scheduler_rng.integers(0, len(candidates)))
+        return candidates[index]
+
+    # ------------------------------------------------------------------ messaging
+    def send(self, sender: int, recipient: int, kind: str, payload: object,
+             size_bytes: int = 0) -> bool:
+        """Send a message through the network; deliver it immediately.
+
+        Returns False when the network dropped the message or the recipient
+        is offline (the message still counts as sent).
+        """
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind, payload=payload,
+            size_bytes=size_bytes,
+        )
+        delivered = self.network.send(message)
+        recipient_node = self.node(recipient)
+        if not delivered or not recipient_node.online:
+            return False
+        recipient_node.receive(self, message)
+        return True
+
+    # ------------------------------------------------------------------ observers
+    def add_observer(self, observer: Observer) -> None:
+        """Register an observer notified after every cycle."""
+        self.observers.append(observer)
+
+    # ------------------------------------------------------------------ execution
+    def _apply_churn(self, cycle: int) -> None:
+        # The churn model is only active when nodes can actually fail; nodes
+        # taken offline explicitly (e.g. by a test or a fault-injection
+        # scenario) must stay offline rather than being "rejoined" here.
+        if self.churn_rate == 0.0:
+            return
+        for node in self.nodes:
+            if node.online:
+                if self.churn_rate > 0 and self._churn_rng.random() < self.churn_rate:
+                    node.online = False
+                    node.on_offline(self, cycle)
+            else:
+                if self.rejoin_rate > 0 and self._churn_rng.random() < self.rejoin_rate:
+                    node.online = True
+                    node.on_online(self, cycle)
+
+    def run_cycle(self) -> int:
+        """Run exactly one cycle and return its index."""
+        self.current_cycle += 1
+        cycle = self.current_cycle
+        self._apply_churn(cycle)
+        order = self._scheduler_rng.permutation(self.n_nodes)
+        for node_index in order:
+            node = self.nodes[int(node_index)]
+            if node.online:
+                node.next_cycle(self, cycle)
+        for observer in self.observers:
+            observer.after_cycle(self, cycle)
+        return cycle
+
+    def run(self, cycles: int, stop_when: "StopCondition | None" = None) -> int:
+        """Run up to *cycles* cycles; stop early when *stop_when* returns True.
+
+        Returns the number of cycles actually executed.
+        """
+        check_non_negative_int(cycles, "cycles")
+        executed = 0
+        for _ in range(cycles):
+            self.run_cycle()
+            executed += 1
+            if stop_when is not None and stop_when(self):
+                break
+        return executed
+
+
+#: Signature of the optional early-stopping predicate of :meth:`CycleEngine.run`.
+StopCondition = "Callable[[CycleEngine], bool]"
+
+
+def run_until(engine: CycleEngine, predicate, max_cycles: int = 10_000) -> int:
+    """Run *engine* until *predicate(engine)* holds or *max_cycles* is reached.
+
+    Returns the number of cycles executed; raises :class:`SimulationError`
+    when the predicate never became true.
+    """
+    for executed in range(1, max_cycles + 1):
+        engine.run_cycle()
+        if predicate(engine):
+            return executed
+    raise SimulationError(f"predicate still false after {max_cycles} cycles")

@@ -1,0 +1,135 @@
+"""Simulated point-to-point network with traffic accounting.
+
+The network does not model latency (the engine is cycle-driven, as in
+Peersim's cycle-based mode used by the demonstration); it models *delivery*
+— possibly dropping messages according to the fault model — and keeps the
+per-node and global traffic statistics that the cost analysis (claim C3 of
+the paper) reports: messages and bytes sent and received per participant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .._validation import check_non_negative_int, check_probability
+from ..exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    ``size_bytes`` is declared by the sender (the protocol layer knows how
+    many ciphertexts / floats it serialises); the network only accounts it.
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.size_bytes, "size_bytes")
+
+
+@dataclass
+class TrafficStats:
+    """Traffic counters for one node (or aggregated over all nodes)."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dictionary view."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+
+class Network:
+    """Synchronous message delivery with loss and traffic accounting.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of addressable nodes (ids 0 .. n_nodes-1).
+    drop_probability:
+        Probability that any given message is silently lost.
+    rng:
+        Random stream used for message drops.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        drop_probability: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_nodes <= 0:
+            raise SimulationError(f"n_nodes must be > 0, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.drop_probability = check_probability(drop_probability, "drop_probability")
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._per_node: list[TrafficStats] = [TrafficStats() for _ in range(n_nodes)]
+        self.total = TrafficStats()
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.n_nodes:
+            raise SimulationError(f"node id {node_id} outside [0, {self.n_nodes})")
+
+    def send(self, message: Message) -> bool:
+        """Deliver *message*; return False when it was dropped.
+
+        Sending is always accounted to the sender; reception only when the
+        message is actually delivered.
+        """
+        self._check_node(message.sender)
+        self._check_node(message.recipient)
+        sender_stats = self._per_node[message.sender]
+        sender_stats.messages_sent += 1
+        sender_stats.bytes_sent += message.size_bytes
+        self.total.messages_sent += 1
+        self.total.bytes_sent += message.size_bytes
+        if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
+            sender_stats.messages_dropped += 1
+            self.total.messages_dropped += 1
+            return False
+        recipient_stats = self._per_node[message.recipient]
+        recipient_stats.messages_received += 1
+        recipient_stats.bytes_received += message.size_bytes
+        self.total.messages_received += 1
+        self.total.bytes_received += message.size_bytes
+        return True
+
+    def stats_for(self, node_id: int) -> TrafficStats:
+        """Traffic counters of one node."""
+        self._check_node(node_id)
+        return self._per_node[node_id]
+
+    def per_node_stats(self) -> list[TrafficStats]:
+        """Traffic counters of every node, indexed by node id."""
+        return list(self._per_node)
+
+    def average_bytes_sent(self) -> float:
+        """Average bytes sent per node (the headline network-cost figure)."""
+        return self.total.bytes_sent / self.n_nodes
+
+    def average_messages_sent(self) -> float:
+        """Average messages sent per node."""
+        return self.total.messages_sent / self.n_nodes
+
+    def reset_stats(self) -> None:
+        """Zero every counter (between experiment phases)."""
+        self._per_node = [TrafficStats() for _ in range(self.n_nodes)]
+        self.total = TrafficStats()

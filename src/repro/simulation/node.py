@@ -1,0 +1,49 @@
+"""Node abstraction of the cycle-driven simulator.
+
+Mirrors Peersim's cycle-based node model used by the demonstration platform:
+the engine calls :meth:`Node.next_cycle` once per cycle for every online
+node, in a shuffled order, and nodes communicate by sending messages through
+the engine's network or by direct method calls on peers obtained from the
+engine (the usual Peersim idiom for pairwise gossip exchanges).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+from ..exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .engine import CycleEngine
+
+
+class Node(ABC):
+    """Base class of every simulated participant."""
+
+    def __init__(self, node_id: int) -> None:
+        if node_id < 0:
+            raise SimulationError(f"node ids must be >= 0, got {node_id}")
+        self.node_id = node_id
+        self.online = True
+
+    @abstractmethod
+    def next_cycle(self, engine: "CycleEngine", cycle: int) -> None:
+        """Perform this node's work for simulation cycle *cycle*.
+
+        This is the equivalent of Peersim's ``nextCycle`` method that the
+        paper says implements the core of Chiaroscuro's execution sequence.
+        """
+
+    def receive(self, engine: "CycleEngine", message: Any) -> None:
+        """Handle a message delivered by the engine (optional hook)."""
+
+    def on_offline(self, engine: "CycleEngine", cycle: int) -> None:
+        """Hook called when churn takes this node offline (optional)."""
+
+    def on_online(self, engine: "CycleEngine", cycle: int) -> None:
+        """Hook called when this node rejoins after churn (optional)."""
+
+    def __repr__(self) -> str:
+        state = "online" if self.online else "offline"
+        return f"{type(self).__name__}(id={self.node_id}, {state})"

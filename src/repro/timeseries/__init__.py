@@ -1,0 +1,45 @@
+"""Time-series substrate: value objects, distances and preprocessing."""
+
+from .collection import TimeSeriesCollection
+from .distance import (
+    available_distances,
+    chebyshev_distance,
+    dtw_distance,
+    euclidean_distance,
+    get_distance,
+    manhattan_distance,
+    nearest_neighbor,
+    pairwise_distances,
+    squared_euclidean_distance,
+)
+from .preprocessing import (
+    add_noise,
+    exponential_smoothing,
+    lowpass_filter,
+    moving_average,
+    piecewise_aggregate,
+    resample,
+    sliding_windows,
+)
+from .series import TimeSeries
+
+__all__ = [
+    "TimeSeries",
+    "TimeSeriesCollection",
+    "available_distances",
+    "chebyshev_distance",
+    "dtw_distance",
+    "euclidean_distance",
+    "get_distance",
+    "manhattan_distance",
+    "nearest_neighbor",
+    "pairwise_distances",
+    "squared_euclidean_distance",
+    "add_noise",
+    "exponential_smoothing",
+    "lowpass_filter",
+    "moving_average",
+    "piecewise_aggregate",
+    "resample",
+    "sliding_windows",
+]

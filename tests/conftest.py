@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Cryptographic fixtures use deliberately small keys (96–192 bits): they are
+insecure but exercise exactly the same code paths as realistic keys while
+keeping the suite fast.  Session scope is used for the expensive key
+generations so they happen once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ChiaroscuroConfig
+from repro.crypto.backends import DamgardJurikBackend, PlainBackend
+from repro.datasets import generate_gaussian_clusters
+from repro.timeseries import TimeSeries, TimeSeriesCollection
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator shared by tests that only read it."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def fresh_rng() -> np.random.Generator:
+    """A deterministic generator re-created for every test."""
+    return np.random.default_rng(999)
+
+
+@pytest.fixture(scope="session")
+def small_collection() -> TimeSeriesCollection:
+    """A small synthetic collection with known cluster structure."""
+    return generate_gaussian_clusters(
+        n_series=30, series_length=12, n_clusters=3, noise_std=0.05, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_series() -> TimeSeries:
+    """A short hand-written series used by unit tests."""
+    return TimeSeries(np.array([0.0, 1.0, 2.0, 3.0, 2.0, 1.0]), series_id="tiny",
+                      metadata={"archetype": "test"})
+
+
+@pytest.fixture(scope="session")
+def plain_backend() -> PlainBackend:
+    """Plain (simulated-encryption) backend with a small committee."""
+    return PlainBackend(threshold=2, n_shares=4, encoding_scale=10**6)
+
+
+@pytest.fixture(scope="session")
+def dj_backend() -> DamgardJurikBackend:
+    """Real Damgård–Jurik backend with a small (insecure, fast) key."""
+    return DamgardJurikBackend(
+        key_bits=192, degree=1, threshold=2, n_shares=4, encoding_scale=10**4
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ChiaroscuroConfig:
+    """A configuration sized for fast protocol integration tests."""
+    return ChiaroscuroConfig().with_overrides(
+        kmeans={"n_clusters": 3, "max_iterations": 4, "convergence_threshold": 1e-3},
+        privacy={"epsilon": 4.0, "noise_shares": 10},
+        gossip={"cycles_per_aggregation": 6},
+        crypto={"threshold": 2, "n_key_shares": 4},
+        simulation={"n_participants": 40, "seed": 3},
+    )

@@ -1,0 +1,92 @@
+"""Tests of the cost model and the measured crypto cost profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CostModel, CryptoCostProfile, ProtocolWorkload, measure_crypto_costs
+from repro.exceptions import AnalysisError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def measured_profile():
+    # Small key keeps the measurement fast; the model only needs the constants.
+    return measure_crypto_costs(key_bits=160, degree=1, threshold=2, n_shares=3, repetitions=3)
+
+
+@pytest.fixture()
+def workload():
+    return ProtocolWorkload(
+        n_clusters=5, series_length=48, iterations=10,
+        gossip_cycles=12, exchanges_per_cycle=1, threshold=3,
+    )
+
+
+class TestMeasurement:
+    def test_all_timings_positive(self, measured_profile):
+        profile = measured_profile.as_dict()
+        for key in ("keygen_seconds", "encryption_seconds", "addition_seconds",
+                    "partial_decryption_seconds", "combination_seconds"):
+            assert profile[key] > 0.0
+
+    def test_addition_cheaper_than_encryption(self, measured_profile):
+        assert measured_profile.addition_seconds < measured_profile.encryption_seconds
+
+    def test_ciphertext_size_reported(self, measured_profile):
+        # A degree-1 ciphertext lives modulo n^2, i.e. roughly twice the key size.
+        assert measured_profile.ciphertext_bytes >= (2 * 160) // 8 - 2
+
+
+class TestWorkload:
+    def test_operation_counts(self, workload):
+        assert workload.components_per_estimate == 49
+        assert workload.encryptions_per_iteration == 2 * 5 * 49
+        assert workload.partial_decryptions_per_iteration == 3 * 5 * 49
+        assert workload.combinations_per_iteration == 5 * 49
+        assert workload.messages_per_iteration == 2 * 12 + 2 * 3
+
+    def test_additions_grow_with_gossip_cycles(self):
+        few = ProtocolWorkload(3, 24, 5, gossip_cycles=4, exchanges_per_cycle=1, threshold=3)
+        many = ProtocolWorkload(3, 24, 5, gossip_cycles=16, exchanges_per_cycle=1, threshold=3)
+        assert many.additions_per_iteration > few.additions_per_iteration
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            ProtocolWorkload(0, 24, 5, 4, 1, 3)
+
+
+class TestCostModel:
+    def test_estimate_components_add_up(self, measured_profile, workload):
+        model = CostModel(measured_profile)
+        estimate = model.estimate(workload)
+        assert estimate.total_compute_seconds == pytest.approx(
+            estimate.encryption_seconds + estimate.addition_seconds
+            + estimate.decryption_seconds
+        )
+        assert estimate.bytes_sent > 0
+        assert estimate.messages_sent == workload.iterations * workload.messages_per_iteration
+
+    def test_per_participant_cost_is_population_independent(self, measured_profile, workload):
+        model = CostModel(measured_profile)
+        rows = model.sweep_population(workload, [10**3, 10**6])
+        assert rows[0]["total_compute_seconds"] == rows[1]["total_compute_seconds"]
+        assert rows[0]["bytes_sent"] == rows[1]["bytes_sent"]
+
+    def test_aggregate_cost_scales_linearly(self, measured_profile, workload):
+        model = CostModel(measured_profile)
+        rows = model.sweep_population(workload, [10**3, 10**6])
+        assert rows[1]["aggregate_bytes"] == pytest.approx(rows[0]["aggregate_bytes"] * 1000)
+
+    def test_empty_population_list_rejected(self, measured_profile, workload):
+        with pytest.raises(AnalysisError):
+            CostModel(measured_profile).sweep_population(workload, [])
+
+    def test_synthetic_profile_usable_without_measurement(self, workload):
+        profile = CryptoCostProfile(
+            key_bits=2048, degree=1, keygen_seconds=1.0, encryption_seconds=0.01,
+            addition_seconds=1e-4, partial_decryption_seconds=0.02,
+            combination_seconds=0.03, ciphertext_bytes=512,
+        )
+        estimate = CostModel(profile).estimate(workload)
+        # 10 iterations * 2*5*49 encryptions * 10 ms each = 49 s of encryption time.
+        assert estimate.encryption_seconds == pytest.approx(10 * 2 * 5 * 49 * 0.01)

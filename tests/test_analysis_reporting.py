@@ -1,0 +1,90 @@
+"""Tests of the text-report formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_comparison, format_series, format_table, format_value
+from repro.exceptions import AnalysisError
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(3.14159265, precision=3) == "3.142"
+
+    def test_extreme_floats_use_scientific_notation(self):
+        assert "e" in format_value(1.23e-7)
+        assert "e" in format_value(4.5e9)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool_and_str(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value("abc") == "abc"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_basic_structure(self):
+        rows = [
+            {"epsilon": 0.1, "inertia": 12.3456, "converged": True},
+            {"epsilon": 1.0, "inertia": 3.21, "converged": False},
+        ]
+        table = format_table(rows, title="E1")
+        lines = table.splitlines()
+        assert lines[0] == "E1"
+        assert "epsilon" in lines[1] and "inertia" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title + header + separator + 2 rows
+
+    def test_column_selection_and_missing_values(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        table = format_table(rows, columns=["a", "b"])
+        assert "2" in table
+        assert table.count("\n") == 3
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_table([])
+
+    def test_alignment_is_consistent(self):
+        rows = [{"name": "x", "value": 1.0}, {"name": "longer-name", "value": 123456.0}]
+        table = format_table(rows)
+        header, separator, *body = table.splitlines()
+        assert len(header) == len(separator)
+        assert all(len(line) <= len(separator) + 1 for line in body)
+
+
+class TestFormatSeries:
+    def test_one_line_per_point(self):
+        output = format_series([1.0, 2.0, 3.0], label="noise")
+        lines = output.splitlines()
+        assert lines[0] == "noise"
+        assert len(lines) == 4
+
+    def test_bars_scale_with_magnitude(self):
+        output = format_series([1.0, 2.0], label="series", width=10)
+        lines = output.splitlines()
+        assert lines[1].count("#") < lines[2].count("#")
+
+    def test_all_zero_series(self):
+        output = format_series([0.0, 0.0])
+        assert "#" not in output
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            format_series([])
+
+
+class TestFormatComparison:
+    def test_method_column_added(self):
+        reports = {
+            "centralized": {"inertia": 1.0},
+            "chiaroscuro": {"inertia": 2.0},
+        }
+        table = format_comparison(reports, columns=["inertia"])
+        assert "method" in table.splitlines()[0]
+        assert "chiaroscuro" in table

@@ -1,0 +1,86 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "cer"
+        assert args.epsilon == 2.0
+        assert args.command == "run"
+
+    def test_compare_options(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "gaussian", "--epsilon", "5", "--participants", "40"]
+        )
+        assert args.dataset == "gaussian"
+        assert args.epsilon == 5.0
+        assert args.participants == 40
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "not-a-dataset"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_crypto_bench_populations(self):
+        args = build_parser().parse_args(
+            ["crypto-bench", "--populations", "100", "1000"]
+        )
+        assert args.populations == [100, 1000]
+
+
+class TestCommands:
+    def test_run_command_json(self, capsys):
+        exit_code = main([
+            "run", "--dataset", "gaussian", "--participants", "24", "--clusters", "2",
+            "--iterations", "2", "--noise-shares", "8", "--gossip-cycles", "4",
+            "--epsilon", "4", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["n_clusters"] == 2
+        assert payload["summary"]["n_participants"] == 24
+        assert payload["guarantee"]["epsilon"] <= 4.0 + 1e-9
+
+    def test_run_command_table_output(self, capsys):
+        exit_code = main([
+            "run", "--dataset", "gaussian", "--participants", "20", "--clusters", "2",
+            "--iterations", "2", "--noise-shares", "6", "--gossip-cycles", "4",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Chiaroscuro run" in output
+        assert "realised privacy guarantee" in output
+
+    def test_crypto_bench_command(self, capsys):
+        exit_code = main([
+            "crypto-bench", "--key-bits", "160", "--repetitions", "2",
+            "--clusters", "2", "--series-length", "8", "--iterations", "2",
+            "--gossip-cycles", "4", "--populations", "100", "10000", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 2
+        assert payload["rows"][0]["total_compute_seconds"] == pytest.approx(
+            payload["rows"][1]["total_compute_seconds"]
+        )
+
+    def test_error_reported_as_exit_code_two(self, capsys):
+        # 5 clusters but only 4 participants: the library refuses, the CLI
+        # must translate that into a non-zero exit code rather than a traceback.
+        exit_code = main([
+            "run", "--dataset", "gaussian", "--participants", "4", "--clusters", "5",
+            "--noise-shares", "2",
+        ])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,141 @@
+"""Tests of the clustering quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    adjusted_rand_index,
+    centroid_matching_error,
+    contingency_table,
+    kmeans,
+    match_centroids,
+    quality_report,
+    relative_inertia,
+    silhouette_score,
+)
+from repro.datasets import generate_gaussian_clusters
+from repro.exceptions import ValidationError
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_string_labels_supported(self):
+        a = np.array(["x", "x", "y", "y"])
+        b = np.array([0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, size=600)
+        b = rng.integers(0, 3, size=600)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_single_cluster_against_itself(self):
+        labels = np.zeros(5, dtype=int)
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            adjusted_rand_index(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_contingency_table(self):
+        table = contingency_table(np.array([0, 0, 1]), np.array([1, 1, 0]))
+        assert table.tolist() == [[0, 2], [1, 0]]
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        collection = generate_gaussian_clusters(
+            n_series=60, series_length=8, n_clusters=3, noise_std=0.02, separation=3.0, seed=1
+        )
+        data = collection.to_matrix()
+        labels = np.array(collection.labels("cluster"))
+        assert silhouette_score(data, labels) > 0.6
+
+    def test_random_assignment_scores_low(self):
+        collection = generate_gaussian_clusters(
+            n_series=60, series_length=8, n_clusters=3, noise_std=0.02, separation=3.0, seed=1
+        )
+        data = collection.to_matrix()
+        random_labels = np.random.default_rng(0).integers(0, 3, size=60)
+        good_labels = np.array(collection.labels("cluster"))
+        assert silhouette_score(data, random_labels) < silhouette_score(data, good_labels)
+
+    def test_single_cluster_returns_zero(self):
+        data = np.random.default_rng(0).normal(size=(10, 3))
+        assert silhouette_score(data, np.zeros(10, dtype=int)) == 0.0
+
+    def test_sampled_version_close_to_full(self):
+        collection = generate_gaussian_clusters(
+            n_series=80, series_length=6, n_clusters=2, noise_std=0.05, seed=2
+        )
+        data = collection.to_matrix()
+        labels = np.array(collection.labels("cluster"))
+        full = silhouette_score(data, labels)
+        sampled = silhouette_score(data, labels, sample_size=40, seed=1)
+        assert sampled == pytest.approx(full, abs=0.15)
+
+    def test_assignment_length_checked(self):
+        with pytest.raises(ValidationError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+
+class TestCentroidMatching:
+    def test_identity_matching(self):
+        centroids = np.array([[0.0, 0.0], [1.0, 1.0]])
+        pairs = match_centroids(centroids, centroids)
+        assert pairs == [(0, 0), (1, 1)]
+        assert centroid_matching_error(centroids, centroids) == pytest.approx(0.0)
+
+    def test_permutation_recovered(self):
+        reference = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        produced = reference[[2, 0, 1]]
+        pairs = dict(match_centroids(reference, produced))
+        assert pairs == {0: 1, 1: 2, 2: 0}
+        assert centroid_matching_error(reference, produced) == pytest.approx(0.0)
+
+    def test_error_reflects_perturbation(self):
+        reference = np.zeros((2, 4))
+        produced = reference + 0.5
+        assert centroid_matching_error(reference, produced) == pytest.approx(1.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            match_centroids(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestReports:
+    def test_relative_inertia(self):
+        data = np.random.default_rng(1).normal(size=(30, 4))
+        result = kmeans(data, 3, seed=0)
+        assert relative_inertia(data, result.centroids, result.inertia) == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            relative_inertia(data, result.centroids, 0.0)
+
+    def test_quality_report_keys(self):
+        collection = generate_gaussian_clusters(
+            n_series=40, series_length=6, n_clusters=2, seed=3
+        )
+        data = collection.to_matrix()
+        reference = kmeans(data, 2, seed=0)
+        report = quality_report(
+            data,
+            reference.centroids,
+            reference_centroids=reference.centroids,
+            reference_inertia=reference.inertia,
+            true_labels=np.array(collection.labels("cluster")),
+        )
+        assert report["relative_inertia"] == pytest.approx(1.0)
+        assert report["centroid_matching_error"] == pytest.approx(0.0, abs=1e-6)
+        assert 0.0 <= report["adjusted_rand_index"] <= 1.0
+        assert report["n_clusters_used"] == 2.0

@@ -1,0 +1,132 @@
+"""Tests of the configuration dataclasses and their cross-field validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ChiaroscuroConfig,
+    CryptoConfig,
+    GossipConfig,
+    KMeansConfig,
+    PrivacyConfig,
+    SimulationConfig,
+    SmoothingConfig,
+)
+from repro.exceptions import ConfigurationError, ValidationError
+
+
+class TestSectionConfigs:
+    def test_kmeans_defaults(self):
+        config = KMeansConfig()
+        assert config.n_clusters == 5
+        assert config.init == "kmeans++"
+
+    def test_kmeans_rejects_bad_init(self):
+        with pytest.raises(ValidationError):
+            KMeansConfig(init="whatever")
+
+    def test_kmeans_rejects_zero_clusters(self):
+        with pytest.raises(ValidationError):
+            KMeansConfig(n_clusters=0)
+
+    def test_privacy_rejects_negative_epsilon(self):
+        with pytest.raises(ValidationError):
+            PrivacyConfig(epsilon=-1.0)
+
+    def test_privacy_rejects_unknown_strategy(self):
+        with pytest.raises(ValidationError):
+            PrivacyConfig(budget_strategy="magic")
+
+    def test_privacy_delta_must_be_probability(self):
+        with pytest.raises(ValidationError):
+            PrivacyConfig(delta_slack=2.0)
+
+    def test_crypto_threshold_cannot_exceed_shares(self):
+        with pytest.raises(ConfigurationError):
+            CryptoConfig(threshold=9, n_key_shares=8)
+
+    def test_crypto_rejects_tiny_key(self):
+        with pytest.raises(ConfigurationError):
+            CryptoConfig(key_bits=8)
+
+    def test_crypto_rejects_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            CryptoConfig(backend="rsa")
+
+    def test_gossip_rejects_unknown_topology(self):
+        with pytest.raises(ValidationError):
+            GossipConfig(topology="torus")
+
+    def test_gossip_drop_probability_bounds(self):
+        with pytest.raises(ValidationError):
+            GossipConfig(drop_probability=1.5)
+
+    def test_simulation_rejects_zero_participants(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(n_participants=0)
+
+    def test_smoothing_rejects_unknown_method(self):
+        with pytest.raises(ValidationError):
+            SmoothingConfig(method="fft-magic")
+
+    def test_smoothing_alpha_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SmoothingConfig(alpha=0.0)
+
+
+class TestAggregateConfig:
+    def test_defaults_are_consistent(self):
+        config = ChiaroscuroConfig()
+        assert config.kmeans.n_clusters <= config.simulation.n_participants
+
+    def test_threshold_must_fit_population(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig(
+                crypto=CryptoConfig(threshold=5, n_key_shares=8),
+                simulation=SimulationConfig(n_participants=4),
+            )
+
+    def test_noise_shares_must_fit_population(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig(
+                privacy=PrivacyConfig(noise_shares=50),
+                simulation=SimulationConfig(n_participants=10),
+            )
+
+    def test_clusters_must_fit_population(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig(
+                kmeans=KMeansConfig(n_clusters=20),
+                privacy=PrivacyConfig(noise_shares=4),
+                crypto=CryptoConfig(threshold=2, n_key_shares=4),
+                simulation=SimulationConfig(n_participants=10),
+            )
+
+    def test_with_overrides_replaces_fields(self):
+        config = ChiaroscuroConfig()
+        updated = config.with_overrides(privacy={"epsilon": 0.5}, kmeans={"n_clusters": 3})
+        assert updated.privacy.epsilon == 0.5
+        assert updated.kmeans.n_clusters == 3
+        # The original is untouched (frozen dataclasses).
+        assert config.privacy.epsilon == 1.0
+
+    def test_with_overrides_rejects_unknown_section(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(nonexistent={"x": 1})
+
+    def test_with_overrides_validates_new_values(self):
+        with pytest.raises(ValidationError):
+            ChiaroscuroConfig().with_overrides(privacy={"epsilon": -3.0})
+
+    def test_describe_round_trips_sections(self):
+        description = ChiaroscuroConfig().describe()
+        assert set(description) == {
+            "kmeans", "privacy", "crypto", "gossip", "simulation", "smoothing",
+        }
+        assert description["privacy"]["epsilon"] == 1.0
+
+    def test_configs_are_frozen(self):
+        config = ChiaroscuroConfig()
+        with pytest.raises(AttributeError):
+            config.privacy = PrivacyConfig()  # type: ignore[misc]

@@ -1,0 +1,85 @@
+"""Tests of the termination criteria."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TerminationCriteria
+from repro.exceptions import ValidationError
+
+
+class TestBasicCriteria:
+    def test_converged_below_threshold(self):
+        criteria = TerminationCriteria(convergence_threshold=0.1, max_iterations=10)
+        stop, reason = criteria.should_stop(1, 0.05)
+        assert stop and reason == "converged"
+
+    def test_continue_above_threshold(self):
+        criteria = TerminationCriteria(convergence_threshold=0.1, max_iterations=10,
+                                       track_quality=False)
+        stop, reason = criteria.should_stop(1, 0.5)
+        assert not stop and reason == ""
+
+    def test_max_iterations(self):
+        criteria = TerminationCriteria(convergence_threshold=1e-6, max_iterations=3,
+                                       track_quality=False)
+        stop, reason = criteria.should_stop(3, 1.0)
+        assert stop and reason == "max_iterations"
+
+    def test_exact_threshold_counts_as_converged(self):
+        criteria = TerminationCriteria(convergence_threshold=0.1, max_iterations=10)
+        stop, reason = criteria.should_stop(1, 0.1)
+        assert stop and reason == "converged"
+
+    def test_negative_displacement_rejected(self):
+        criteria = TerminationCriteria()
+        with pytest.raises(ValidationError):
+            criteria.should_stop(1, -0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            TerminationCriteria(max_iterations=0)
+        with pytest.raises(ValidationError):
+            TerminationCriteria(convergence_threshold=-1.0)
+
+
+class TestQualityPlateau:
+    def test_plateau_triggers_after_patience(self):
+        criteria = TerminationCriteria(
+            convergence_threshold=1e-9, max_iterations=100,
+            track_quality=True, quality_patience=2,
+        )
+        assert criteria.should_stop(1, 0.5) == (False, "")
+        assert criteria.should_stop(2, 0.6) == (False, "")   # 1st non-improving
+        stop, reason = criteria.should_stop(3, 0.7)           # 2nd non-improving
+        assert stop and reason == "quality_plateau"
+
+    def test_improvement_resets_patience(self):
+        criteria = TerminationCriteria(
+            convergence_threshold=1e-9, max_iterations=100,
+            track_quality=True, quality_patience=2,
+        )
+        criteria.should_stop(1, 0.5)
+        criteria.should_stop(2, 0.6)   # non-improving
+        criteria.should_stop(3, 0.4)   # improves: patience resets
+        stop, _reason = criteria.should_stop(4, 0.45)
+        assert not stop
+
+    def test_disabled_plateau_never_triggers(self):
+        criteria = TerminationCriteria(
+            convergence_threshold=1e-9, max_iterations=100, track_quality=False,
+        )
+        for iteration in range(1, 20):
+            stop, _ = criteria.should_stop(iteration, 1.0)
+            assert not stop
+
+    def test_reset_clears_patience_state(self):
+        criteria = TerminationCriteria(
+            convergence_threshold=1e-9, max_iterations=100,
+            track_quality=True, quality_patience=1,
+        )
+        criteria.should_stop(1, 0.5)
+        criteria.should_stop(2, 0.9)
+        criteria.reset()
+        stop, _ = criteria.should_stop(1, 0.9)
+        assert not stop

@@ -1,0 +1,159 @@
+"""Unit tests of the participant state machine (driven through a tiny engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import public_initial_centroids
+from repro.config import ChiaroscuroConfig
+from repro.core.participant import ChiaroscuroParticipant, Phase
+from repro.exceptions import ProtocolError
+from repro.gossip import build_overlay
+from repro.simulation import CycleEngine
+
+
+def make_participants(n=6, length=6, config=None, backend=None):
+    config = config if config is not None else ChiaroscuroConfig().with_overrides(
+        kmeans={"n_clusters": 2, "max_iterations": 3},
+        privacy={"epsilon": 5.0, "noise_shares": 3},
+        gossip={"cycles_per_aggregation": 3},
+        crypto={"threshold": 2, "n_key_shares": 3},
+        simulation={"n_participants": n, "seed": 0},
+    )
+    if backend is None:
+        from repro.crypto.backends import PlainBackend
+
+        backend = PlainBackend(threshold=2, n_shares=3)
+    overlay = build_overlay(n, topology="complete")
+    centroids = public_initial_centroids(2, length, 0.0, 1.0, seed=0)
+    rng = np.random.default_rng(5)
+    data = rng.uniform(0.0, 1.0, size=(n, length))
+    participants = [
+        ChiaroscuroParticipant(
+            node_id=i,
+            series_values=data[i],
+            initial_centroids=centroids,
+            config=config,
+            backend=backend,
+            overlay=overlay,
+            noise_contributor=i < 3,
+            n_noise_contributors=3,
+            seed=i,
+        )
+        for i in range(n)
+    ]
+    return participants, config, data
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        participants, _config, _data = make_participants()
+        participant = participants[0]
+        assert participant.phase is Phase.ASSIGN
+        assert participant.iteration == 0
+        assert not participant.is_done
+        assert participant.n_clusters == 2
+        assert participant.series_length == 6
+
+    def test_series_must_be_one_dimensional(self):
+        participants, config, _data = make_participants()
+        with pytest.raises(ProtocolError):
+            ChiaroscuroParticipant(
+                node_id=0,
+                series_values=np.zeros((2, 3)),
+                initial_centroids=participants[0].centroids,
+                config=config,
+                backend=participants[0].backend,
+                overlay=participants[0].overlay,
+                noise_contributor=False,
+                n_noise_contributors=1,
+            )
+
+    def test_centroid_length_must_match_series(self):
+        participants, config, _data = make_participants()
+        with pytest.raises(ProtocolError):
+            ChiaroscuroParticipant(
+                node_id=0,
+                series_values=np.zeros(4),
+                initial_centroids=np.zeros((2, 6)),
+                config=config,
+                backend=participants[0].backend,
+                overlay=participants[0].overlay,
+                noise_contributor=False,
+                n_noise_contributors=1,
+            )
+
+
+class TestStateMachine:
+    def test_phase_progression_over_cycles(self):
+        participants, config, _data = make_participants()
+        engine = CycleEngine(participants, seed=0)
+        engine.run_cycle()  # assignment
+        assert all(p.phase is Phase.GOSSIP for p in participants)
+        assert all(p.iteration == 1 for p in participants)
+        assert all(p.assigned_cluster is not None for p in participants)
+        engine.run(config.gossip.cycles_per_aggregation)  # gossip cycles
+        assert all(p.phase is Phase.DECRYPT for p in participants)
+        engine.run_cycle()  # decryption + convergence check
+        assert all(p.phase in (Phase.ASSIGN, Phase.DONE) for p in participants)
+        assert all(len(p.perturbed_means_history) == 1 for p in participants)
+
+    def test_assignment_picks_closest_centroid(self):
+        participants, _config, data = make_participants()
+        participant = participants[0]
+        participant._assignment_step()
+        distances = np.linalg.norm(
+            participant.centroids - data[0][None, :], axis=1
+        )
+        assert participant.assigned_cluster == int(np.argmin(distances))
+
+    def test_noise_contributors_embed_noise(self):
+        participants, _config, _data = make_participants()
+        contributor = participants[0]       # noise contributor
+        bystander = participants[5]         # not a contributor
+        assert contributor._draw_noise_shares(1.0) is not None
+        assert bystander._draw_noise_shares(1.0) is None
+
+    def test_run_to_completion(self):
+        participants, config, _data = make_participants()
+        engine = CycleEngine(participants, seed=0)
+        engine.run(60, stop_when=lambda eng: all(p.is_done for p in participants))
+        assert all(p.is_done for p in participants)
+        assert all(p.final_profiles is not None for p in participants)
+        assert all(p.stop_reason != "" for p in participants)
+        for participant in participants:
+            assert participant.accountant.spent_epsilon <= config.privacy.epsilon + 1e-9
+
+    def test_done_participants_stay_done(self):
+        participants, _config, _data = make_participants()
+        engine = CycleEngine(participants, seed=0)
+        engine.run(60, stop_when=lambda eng: all(p.is_done for p in participants))
+        profiles_before = [p.final_profiles.copy() for p in participants]
+        engine.run(3)
+        for before, participant in zip(profiles_before, participants):
+            assert np.array_equal(before, participant.final_profiles)
+
+    def test_budget_exhaustion_finishes_participant(self):
+        config = ChiaroscuroConfig().with_overrides(
+            kmeans={"n_clusters": 2, "max_iterations": 10,
+                    "convergence_threshold": 0.0, "track_quality": False},
+            privacy={"epsilon": 0.05, "noise_shares": 3, "budget_strategy": "uniform"},
+            gossip={"cycles_per_aggregation": 2},
+            crypto={"threshold": 2, "n_key_shares": 3},
+            simulation={"n_participants": 6, "seed": 0},
+        )
+        participants, _config, _data = make_participants(config=config)
+        engine = CycleEngine(participants, seed=0)
+        engine.run(200, stop_when=lambda eng: all(p.is_done for p in participants))
+        assert all(p.is_done for p in participants)
+
+    def test_assignment_history_tracks_every_iteration(self):
+        participants, _config, _data = make_participants()
+        engine = CycleEngine(participants, seed=0)
+        engine.run(60, stop_when=lambda eng: all(p.is_done for p in participants))
+        for participant in participants:
+            assert len(participant.assignment_history) >= 1
+            assert len(participant.assignment_history) >= len(
+                participant.perturbed_means_history
+            ) - 1

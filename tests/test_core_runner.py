@@ -1,0 +1,221 @@
+"""Integration tests of the full Chiaroscuro protocol run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ChiaroscuroConfig, run_chiaroscuro
+from repro.baselines import centralized_kmeans
+from repro.clustering import adjusted_rand_index
+from repro.core.runner import denormalize_profiles, normalize_collection
+from repro.datasets import generate_gaussian_clusters, generate_numed_like
+from repro.exceptions import ConfigurationError, ProtocolError
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return generate_gaussian_clusters(
+        n_series=40, series_length=12, n_clusters=3, noise_std=0.05, seed=13
+    )
+
+
+@pytest.fixture(scope="module")
+def result(collection, fast_config):
+    return run_chiaroscuro(collection, fast_config)
+
+
+class TestNormalization:
+    def test_normalize_collection_range(self, collection):
+        data, transform = normalize_collection(collection, value_bound=1.0)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+        assert transform["value_bound"] == 1.0
+
+    def test_denormalize_round_trip(self, collection):
+        data, transform = normalize_collection(collection, value_bound=1.0)
+        restored = denormalize_profiles(data, transform)
+        assert np.allclose(restored, collection.to_matrix(), atol=1e-9)
+
+    def test_constant_collection_handled(self):
+        from repro.datasets import generate_constant_series
+
+        constant = generate_constant_series(5, 4, value=3.0)
+        data, _transform = normalize_collection(constant, value_bound=1.0)
+        assert np.all(np.isfinite(data))
+
+    def test_denormalize_rejects_zero_scale(self):
+        with pytest.raises(ProtocolError):
+            denormalize_profiles(np.zeros((2, 2)), {"scale": 0.0, "offset": 0.0})
+
+
+class TestRunOutcome:
+    def test_profiles_shape_and_range(self, result, fast_config):
+        assert result.profiles.shape == (3, 12)
+        assert result.profiles.min() >= 0.0
+        assert result.profiles.max() <= fast_config.privacy.value_bound + 1e-9
+
+    def test_every_participant_finished(self, result, collection):
+        assert sum(result.stop_reasons.values()) == len(collection)
+        assert "unfinished" not in result.stop_reasons
+        assert len(result.per_participant_profiles) == len(collection)
+
+    def test_assignments_cover_population(self, result, collection):
+        assert result.assignments.shape == (len(collection),)
+        assert set(np.unique(result.assignments)).issubset({0, 1, 2})
+        assert sum(result.cluster_sizes().values()) == len(collection)
+
+    def test_privacy_budget_respected(self, result, fast_config):
+        assert result.epsilon_spent <= fast_config.privacy.epsilon + 1e-9
+        assert result.guarantee.effective_epsilon >= result.epsilon_spent
+        assert 0.0 <= result.guarantee.delta <= 1.0
+
+    def test_iterations_bounded(self, result, fast_config):
+        assert 1 <= result.n_iterations <= fast_config.kmeans.max_iterations
+
+    def test_costs_are_positive_and_consistent(self, result, collection):
+        costs = result.costs
+        assert costs.n_participants == len(collection)
+        assert costs.messages_sent > 0
+        assert costs.bytes_sent > 0
+        assert costs.encryptions > 0
+        assert costs.bytes_per_participant == pytest.approx(
+            costs.bytes_sent / len(collection)
+        )
+        as_dict = costs.as_dict()
+        assert as_dict["messages_per_participant"] > 0
+
+    def test_execution_log_populated(self, result):
+        assert len(result.log) >= 1
+        assert len(result.log) <= result.n_iterations
+        record = result.log[0]
+        assert record.perturbed_means is not None
+        assert record.noise_free_means is not None
+        assert record.epsilon_spent > 0
+        assert record.costs["messages_sent"] > 0
+
+    def test_tracked_participants_followed(self, result):
+        history = result.log.tracked_assignment_history()
+        assert len(history) >= 1
+        for assignments in history.values():
+            assert all(0 <= cluster < 3 for cluster in assignments)
+
+    def test_participant_views_agree(self, result):
+        """After convergence every participant's profiles are close to the consensus."""
+        for profiles in result.per_participant_profiles.values():
+            assert np.linalg.norm(profiles - result.profiles) / max(
+                1e-9, np.linalg.norm(result.profiles)
+            ) < 0.6
+
+    def test_summary_is_json_friendly(self, result):
+        import json
+
+        json.dumps(result.summary())
+
+    def test_profile_accessor_bounds(self, result):
+        from repro.exceptions import AnalysisError
+
+        assert result.profile(0).shape == (12,)
+        with pytest.raises(AnalysisError):
+            result.profile(10)
+
+
+class TestRunBehaviour:
+    def test_deterministic_given_seed(self, collection, fast_config):
+        first = run_chiaroscuro(collection, fast_config)
+        second = run_chiaroscuro(collection, fast_config)
+        assert np.allclose(first.profiles, second.profiles)
+
+    def test_quality_improves_with_epsilon(self, collection, fast_config):
+        loose = run_chiaroscuro(
+            collection, fast_config.with_overrides(privacy={"epsilon": 0.1})
+        )
+        tight = run_chiaroscuro(
+            collection, fast_config.with_overrides(privacy={"epsilon": 50.0})
+        )
+        assert tight.inertia < loose.inertia
+
+    def test_high_epsilon_recovers_partition(self, collection, fast_config):
+        config = fast_config.with_overrides(
+            privacy={"epsilon": 200.0}, kmeans={"n_clusters": 3, "max_iterations": 6}
+        )
+        result = run_chiaroscuro(collection, config)
+        labels = np.array(collection.labels("cluster"))
+        assert adjusted_rand_index(labels, result.assignments) > 0.8
+
+    def test_comparable_to_centralized_at_high_epsilon(self, collection, fast_config):
+        config = fast_config.with_overrides(privacy={"epsilon": 200.0})
+        result = run_chiaroscuro(collection, config)
+        data, _ = normalize_collection(collection, 1.0)
+        from repro.timeseries import TimeSeriesCollection
+
+        normalised = TimeSeriesCollection.from_matrix(data)
+        reference = centralized_kmeans(normalised, config.kmeans, seed=0, n_restarts=3)
+        assert result.inertia <= reference.inertia * 10
+
+    def test_budget_exhaustion_stops_early(self, collection, fast_config):
+        config = fast_config.with_overrides(
+            privacy={"epsilon": 0.2, "budget_strategy": "uniform"},
+            kmeans={"n_clusters": 3, "max_iterations": 10},
+        )
+        result = run_chiaroscuro(collection, config)
+        assert result.epsilon_spent <= 0.2 + 1e-9
+
+    def test_churn_does_not_break_the_run(self, collection, fast_config):
+        config = fast_config.with_overrides(
+            simulation={"churn_rate": 0.05, "rejoin_rate": 0.6, "seed": 4},
+        )
+        result = run_chiaroscuro(collection, config)
+        assert result.profiles.shape == (3, 12)
+        assert sum(result.stop_reasons.values()) == len(collection)
+
+    def test_message_drops_do_not_break_the_run(self, collection, fast_config):
+        config = fast_config.with_overrides(gossip={"drop_probability": 0.2})
+        result = run_chiaroscuro(collection, config)
+        assert result.profiles.shape == (3, 12)
+
+    def test_threshold_larger_than_population_rejected(self, fast_config):
+        tiny = generate_gaussian_clusters(n_series=3, series_length=6, n_clusters=2, seed=1)
+        config = fast_config.with_overrides(
+            kmeans={"n_clusters": 2},
+            privacy={"noise_shares": 2},
+            crypto={"threshold": 4, "n_key_shares": 6},
+        )
+        with pytest.raises(ConfigurationError):
+            run_chiaroscuro(tiny, config)
+
+    def test_more_clusters_than_participants_rejected(self, fast_config):
+        tiny = generate_gaussian_clusters(n_series=2, series_length=6, n_clusters=2, seed=1)
+        config = fast_config.with_overrides(
+            kmeans={"n_clusters": 5}, privacy={"noise_shares": 2},
+            crypto={"threshold": 2, "n_key_shares": 4},
+        )
+        with pytest.raises(ConfigurationError):
+            run_chiaroscuro(tiny, config)
+
+    def test_numed_dataset_runs(self, fast_config):
+        patients = generate_numed_like(n_patients=30, n_weeks=20, seed=3)
+        config = fast_config.with_overrides(kmeans={"n_clusters": 3, "max_iterations": 3})
+        result = run_chiaroscuro(patients, config)
+        assert result.profiles.shape == (3, 20)
+
+    def test_real_crypto_end_to_end(self):
+        """Full protocol with genuine Damgård–Jurik threshold encryption.
+
+        Kept deliberately tiny (8 devices, 6-point series) so the suite stays
+        fast while still exercising the complete encrypted code path.
+        """
+        collection = generate_gaussian_clusters(
+            n_series=8, series_length=6, n_clusters=2, noise_std=0.05, seed=21
+        )
+        config = ChiaroscuroConfig().with_overrides(
+            kmeans={"n_clusters": 2, "max_iterations": 2},
+            privacy={"epsilon": 20.0, "noise_shares": 4},
+            gossip={"cycles_per_aggregation": 3},
+            crypto={"backend": "damgard_jurik", "key_bits": 192, "threshold": 2,
+                    "n_key_shares": 3, "encoding_scale": 10**4},
+            simulation={"n_participants": 8, "seed": 1},
+        )
+        result = run_chiaroscuro(collection, config)
+        assert result.profiles.shape == (2, 6)
+        assert result.costs.encryptions > 0
+        assert result.costs.partial_decryptions > 0

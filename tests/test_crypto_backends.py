@@ -1,0 +1,146 @@
+"""Tests of the pluggable cipher backends.
+
+Every behavioural test runs against both backends (the real Damgård–Jurik one
+and the plain simulated one) through parametrised fixtures: the point of the
+backend abstraction is that the protocol cannot tell them apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.backends import (
+    DamgardJurikBackend,
+    EncryptedVector,
+    OperationCounter,
+    PlainBackend,
+    make_backend,
+)
+from repro.exceptions import CryptoError, ThresholdError, ValidationError
+
+
+@pytest.fixture(params=["plain", "damgard_jurik"])
+def backend(request, plain_backend, dj_backend):
+    return plain_backend if request.param == "plain" else dj_backend
+
+
+class TestEncryptDecrypt:
+    def test_vector_round_trip(self, backend):
+        values = np.array([0.5, -1.25, 0.0, 2.5])
+        vector = backend.encrypt_vector(values)
+        decoded = backend.decrypt_with_shares(vector, [1, 2])
+        assert np.allclose(decoded, values, atol=1e-3)
+
+    def test_integer_vector_round_trip(self, backend):
+        values = [0, 1, 5, 17]
+        vector = backend.encrypt_integer_vector(values)
+        decoded = backend.decrypt_with_shares(vector, [1, 2], integer=True)
+        assert np.allclose(decoded, values)
+
+    def test_zero_vector(self, backend):
+        vector = backend.encrypt_zero_vector(3)
+        assert np.allclose(backend.decrypt_with_shares(vector, [1, 2]), 0.0)
+
+    def test_addition(self, backend):
+        a = backend.encrypt_vector([1.0, -2.0, 3.0])
+        b = backend.encrypt_vector([0.5, 2.0, -1.0])
+        decoded = backend.decrypt_with_shares(backend.add(a, b), [1, 2])
+        assert np.allclose(decoded, [1.5, 0.0, 2.0], atol=1e-3)
+
+    def test_scalar_multiplication(self, backend):
+        vector = backend.encrypt_vector([0.5, -1.0])
+        decoded = backend.decrypt_with_shares(backend.multiply_scalar(vector, 4), [1, 2])
+        assert np.allclose(decoded, [2.0, -4.0], atol=1e-3)
+
+    def test_scalar_multiplication_rejects_negative(self, backend):
+        vector = backend.encrypt_vector([1.0])
+        with pytest.raises(CryptoError):
+            backend.multiply_scalar(vector, -2)
+
+    def test_add_length_mismatch(self, backend):
+        with pytest.raises(CryptoError):
+            backend.add(backend.encrypt_vector([1.0]), backend.encrypt_vector([1.0, 2.0]))
+
+    def test_vectors_are_backend_tagged(self, backend):
+        foreign = EncryptedVector(payload=(1, 2, 3), backend_name="other")
+        with pytest.raises(CryptoError):
+            backend.add(foreign, foreign)
+
+    def test_threshold_enforced(self, backend):
+        vector = backend.encrypt_vector([1.0, 2.0])
+        partial = backend.partial_decrypt_vector(1, vector)
+        with pytest.raises(ThresholdError):
+            backend.combine_vector([partial])
+
+    def test_unknown_share_index(self, backend):
+        vector = backend.encrypt_vector([1.0])
+        with pytest.raises(ThresholdError):
+            backend.partial_decrypt_vector(99, vector)
+
+    def test_empty_combination_rejected(self, backend):
+        with pytest.raises(ThresholdError):
+            backend.combine_vector([])
+
+    def test_operation_counters_increase(self, backend):
+        before = backend.counter.as_dict()
+        vector = backend.encrypt_vector([1.0, 2.0, 3.0])
+        backend.add(vector, vector)
+        backend.decrypt_with_shares(vector, [1, 2])
+        after = backend.counter.as_dict()
+        assert after["encryptions"] >= before["encryptions"] + 3
+        assert after["additions"] >= before["additions"] + 3
+        assert after["partial_decryptions"] >= before["partial_decryptions"] + 6
+        assert after["combinations"] >= before["combinations"] + 3
+
+    def test_ciphertext_bits_positive(self, backend):
+        assert backend.ciphertext_bits > 0
+
+
+class TestSemanticSecurityOfRealBackend:
+    def test_real_ciphertexts_are_randomised(self, dj_backend):
+        first = dj_backend.encrypt_vector([0.5])
+        second = dj_backend.encrypt_vector([0.5])
+        assert first.payload != second.payload
+
+    def test_plain_backend_is_not_randomised(self, plain_backend):
+        # This documents the difference: the plain backend is NOT secure, it
+        # only simulates the cost structure (exactly like the demo platform
+        # with homomorphic operations disabled).
+        first = plain_backend.encrypt_vector([0.5])
+        second = plain_backend.encrypt_vector([0.5])
+        assert first.payload == second.payload
+
+
+class TestOperationCounter:
+    def test_merge_and_reset(self):
+        a = OperationCounter(encryptions=1, additions=2)
+        b = OperationCounter(partial_decryptions=3, combinations=4)
+        merged = a.merge(b)
+        assert merged.as_dict() == {
+            "encryptions": 1, "additions": 2, "partial_decryptions": 3, "combinations": 4,
+        }
+        a.reset()
+        assert a.as_dict()["encryptions"] == 0
+
+
+class TestFactory:
+    def test_make_plain(self):
+        assert isinstance(make_backend("plain"), PlainBackend)
+
+    def test_make_paillier_is_degree_one_dj(self):
+        backend = make_backend("paillier", key_bits=160, threshold=2, n_shares=3)
+        assert isinstance(backend, DamgardJurikBackend)
+        assert backend.public_key.s == 1
+
+    def test_make_damgard_jurik_degree(self):
+        backend = make_backend("damgard_jurik", key_bits=128, degree=2, threshold=2, n_shares=3)
+        assert backend.public_key.s == 2
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            make_backend("enigma")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValidationError):
+            PlainBackend(threshold=5, n_shares=2)

@@ -1,0 +1,80 @@
+"""Tests of the fixed-point codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.encoding import FixedPointCodec
+from repro.exceptions import EncodingOverflowError, ValidationError
+
+
+@pytest.fixture()
+def codec():
+    return FixedPointCodec(modulus=2**64, scale=10**6)
+
+
+class TestScalarRoundTrip:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 3.141592, -2.718281, 1e-6, 12345.678901])
+    def test_round_trip(self, codec, value):
+        assert codec.decode(codec.encode(value)) == pytest.approx(value, abs=1e-6)
+
+    def test_quantisation_error_bounded(self, codec):
+        value = 0.123456789123
+        assert abs(codec.decode(codec.encode(value)) - value) <= 0.5 / codec.scale
+
+    def test_rejects_nan(self, codec):
+        with pytest.raises(ValidationError):
+            codec.encode(float("nan"))
+
+    def test_rejects_overflow(self, codec):
+        with pytest.raises(EncodingOverflowError):
+            codec.encode(codec.max_absolute_value * 2)
+
+    def test_integer_round_trip(self, codec):
+        for value in (0, 1, -1, 123456, -987654):
+            assert codec.decode_integer(codec.encode_integer(value)) == value
+
+    def test_integer_overflow(self, codec):
+        with pytest.raises(EncodingOverflowError):
+            codec.encode_integer(codec.half_modulus + 1)
+
+    def test_modulus_must_exceed_scale(self):
+        with pytest.raises(ValidationError):
+            FixedPointCodec(modulus=100, scale=1000)
+
+
+class TestAdditiveStructure:
+    def test_sum_of_encodings_decodes_to_sum(self, codec):
+        values = [1.5, -0.25, 3.75, -2.0]
+        encoded_sum = sum(codec.encode(value) for value in values) % codec.modulus
+        assert codec.decode(encoded_sum) == pytest.approx(sum(values), abs=1e-5)
+
+    def test_negative_sum(self, codec):
+        encoded = (codec.encode(-1.5) + codec.encode(-2.5)) % codec.modulus
+        assert codec.decode(encoded) == pytest.approx(-4.0, abs=1e-6)
+
+    def test_scaled_encoding_supports_halving_exponents(self, codec):
+        # value * 2^e stays decodable as long as it fits, which is what the
+        # encrypted gossip averaging relies on.
+        value = 0.75
+        encoded = codec.encode(value) * (1 << 10) % codec.modulus
+        assert codec.decode(encoded) / (1 << 10) == pytest.approx(value, abs=1e-6)
+
+
+class TestVectors:
+    def test_vector_round_trip(self, codec):
+        values = np.array([0.5, -1.25, 2.0, 0.0])
+        decoded = codec.decode_vector(codec.encode_vector(values))
+        assert np.allclose(decoded, values, atol=1e-6)
+
+    def test_capacity_accounting(self, codec):
+        capacity = codec.max_safe_terms(value_bound=1.0)
+        assert capacity > 1000
+        codec.check_sum_capacity(1.0, capacity)
+        with pytest.raises(EncodingOverflowError):
+            codec.check_sum_capacity(1.0, capacity + 1)
+
+    def test_capacity_requires_positive_bound(self, codec):
+        with pytest.raises(ValidationError):
+            codec.max_safe_terms(0.0)

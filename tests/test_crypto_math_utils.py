@@ -1,0 +1,114 @@
+"""Tests of the number-theoretic helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.crypto.math_utils import (
+    crt_pair,
+    factorial,
+    generate_distinct_primes,
+    generate_prime,
+    integer_digits,
+    is_probable_prime,
+    lcm,
+    mod_inverse,
+    product,
+    random_below,
+    random_coprime,
+)
+from repro.exceptions import CryptoError, KeyGenerationError
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("prime", [2, 3, 5, 7, 97, 104729, 2**31 - 1])
+    def test_known_primes(self, prime):
+        assert is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", [1, 0, -7, 4, 100, 561, 104729 * 3, 2**32])
+    def test_known_composites(self, composite):
+        assert not is_probable_prime(composite)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(carmichael)
+
+    def test_generate_prime_has_requested_bits(self):
+        prime = generate_prime(48)
+        assert prime.bit_length() == 48
+        assert is_probable_prime(prime)
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(KeyGenerationError):
+            generate_prime(1)
+
+    def test_generate_distinct_primes(self):
+        primes = generate_distinct_primes(32, count=3)
+        assert len(set(primes)) == 3
+        assert all(is_probable_prime(p) for p in primes)
+
+
+class TestModularArithmetic:
+    def test_lcm(self):
+        assert lcm(4, 6) == 12
+        assert lcm(0, 5) == 0
+        assert lcm(7, 13) == 91
+
+    def test_mod_inverse(self):
+        assert (3 * mod_inverse(3, 11)) % 11 == 1
+        assert (10 * mod_inverse(10, 17)) % 17 == 1
+
+    def test_mod_inverse_missing(self):
+        with pytest.raises(CryptoError):
+            mod_inverse(6, 9)
+
+    def test_mod_inverse_bad_modulus(self):
+        with pytest.raises(CryptoError):
+            mod_inverse(3, 0)
+
+    def test_crt_pair(self):
+        x = crt_pair(2, 3, 3, 5)
+        assert x % 3 == 2
+        assert x % 5 == 3
+        assert 0 <= x < 15
+
+    def test_crt_requires_coprime_moduli(self):
+        with pytest.raises(CryptoError):
+            crt_pair(1, 4, 2, 6)
+
+    def test_random_coprime(self):
+        modulus = 97 * 89
+        for _ in range(10):
+            value = random_coprime(modulus)
+            assert math.gcd(value, modulus) == 1
+            assert 1 <= value < modulus
+
+    def test_random_coprime_rejects_small_modulus(self):
+        with pytest.raises(CryptoError):
+            random_coprime(2)
+
+    def test_random_below(self):
+        for _ in range(20):
+            assert 0 <= random_below(7) < 7
+        with pytest.raises(CryptoError):
+            random_below(0)
+
+
+class TestMiscHelpers:
+    def test_factorial(self):
+        assert factorial(0) == 1
+        assert factorial(5) == 120
+        with pytest.raises(CryptoError):
+            factorial(-1)
+
+    def test_integer_digits(self):
+        assert integer_digits(13, 2, 5) == [1, 0, 1, 1, 0]
+        with pytest.raises(CryptoError):
+            integer_digits(10, 1, 3)
+
+    def test_product(self):
+        assert product([]) == 1
+        assert product([2, 3, 4]) == 24

@@ -1,0 +1,102 @@
+"""Tests of the Paillier cryptosystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import paillier
+from repro.exceptions import DecryptionError, EncryptionError, KeyGenerationError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return paillier.generate_paillier_keypair(key_bits=192)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        public, _private = keypair
+        assert public.key_bits >= 180  # primes of 96 bits each
+
+    def test_rejects_tiny_keys(self):
+        with pytest.raises(KeyGenerationError):
+            paillier.generate_paillier_keypair(key_bits=8)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("plaintext", [0, 1, 42, 12345678901234567])
+    def test_encrypt_decrypt(self, keypair, plaintext):
+        public, private = keypair
+        ciphertext = paillier.encrypt(public, plaintext)
+        assert paillier.decrypt(private, ciphertext) == plaintext
+
+    def test_encryption_is_randomised(self, keypair):
+        public, _private = keypair
+        assert paillier.encrypt(public, 7) != paillier.encrypt(public, 7)
+
+    def test_fixed_randomness_is_deterministic(self, keypair):
+        public, _private = keypair
+        assert paillier.encrypt(public, 7, randomness=12345) == paillier.encrypt(
+            public, 7, randomness=12345
+        )
+
+    def test_plaintext_out_of_range(self, keypair):
+        public, _private = keypair
+        with pytest.raises(EncryptionError):
+            paillier.encrypt(public, public.n)
+        with pytest.raises(EncryptionError):
+            paillier.encrypt(public, -1)
+
+    def test_randomness_must_be_coprime(self, keypair):
+        public, _private = keypair
+        with pytest.raises(EncryptionError):
+            paillier.encrypt(public, 1, randomness=0)
+
+    def test_decrypt_rejects_out_of_range(self, keypair):
+        public, private = keypair
+        with pytest.raises(DecryptionError):
+            paillier.decrypt(private, public.n_squared + 1)
+
+
+class TestHomomorphism:
+    def test_addition(self, keypair):
+        public, private = keypair
+        a, b = 1234, 98765
+        total = paillier.add_ciphertexts(
+            public, paillier.encrypt(public, a), paillier.encrypt(public, b)
+        )
+        assert paillier.decrypt(private, total) == a + b
+
+    def test_addition_wraps_modulo_n(self, keypair):
+        public, private = keypair
+        a = public.n - 1
+        total = paillier.add_ciphertexts(
+            public, paillier.encrypt(public, a), paillier.encrypt(public, 2)
+        )
+        assert paillier.decrypt(private, total) == 1
+
+    def test_add_plaintext(self, keypair):
+        public, private = keypair
+        ciphertext = paillier.add_plaintext(public, paillier.encrypt(public, 10), 32)
+        assert paillier.decrypt(private, ciphertext) == 42
+
+    def test_multiply_plaintext(self, keypair):
+        public, private = keypair
+        ciphertext = paillier.multiply_plaintext(public, paillier.encrypt(public, 21), 2)
+        assert paillier.decrypt(private, ciphertext) == 42
+
+    def test_add_requires_arguments(self, keypair):
+        public, _private = keypair
+        with pytest.raises(EncryptionError):
+            paillier.add_ciphertexts(public)
+
+    def test_rerandomize_preserves_plaintext(self, keypair):
+        public, private = keypair
+        original = paillier.encrypt(public, 77)
+        refreshed = paillier.rerandomize(public, original)
+        assert refreshed != original
+        assert paillier.decrypt(private, refreshed) == 77
+
+    def test_encrypt_zero(self, keypair):
+        public, private = keypair
+        assert paillier.decrypt(private, paillier.encrypt_zero(public)) == 0

@@ -1,0 +1,88 @@
+"""Tests of the gossip overlay topologies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GossipError, ValidationError
+from repro.gossip import Overlay, build_overlay
+
+
+class TestOverlay:
+    def test_complete_graph_degrees(self):
+        overlay = build_overlay(10, topology="complete")
+        assert overlay.n_nodes == 10
+        assert all(overlay.degree(i) == 9 for i in range(10))
+        assert overlay.is_connected()
+
+    def test_ring_degrees(self):
+        overlay = build_overlay(8, topology="ring")
+        assert all(overlay.degree(i) == 2 for i in range(8))
+
+    def test_random_regular_degrees(self):
+        overlay = build_overlay(20, topology="random_regular", degree=4, seed=1)
+        assert all(overlay.degree(i) == 4 for i in range(20))
+        assert overlay.is_connected()
+
+    def test_small_world_connected(self):
+        overlay = build_overlay(30, topology="small_world", degree=4, seed=2)
+        assert overlay.is_connected()
+
+    def test_single_node_overlay(self):
+        overlay = build_overlay(1)
+        assert overlay.n_nodes == 1
+        assert overlay.degree(0) == 0
+        assert overlay.is_connected()
+
+    def test_degree_larger_than_population_is_clamped(self):
+        overlay = build_overlay(5, topology="random_regular", degree=50, seed=0)
+        assert overlay.is_connected()
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValidationError):
+            build_overlay(5, topology="hypercube")
+
+    def test_custom_graph_requires_dense_ids(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 2)
+        with pytest.raises(GossipError):
+            Overlay(graph)
+
+    def test_neighbors_sorted(self):
+        overlay = build_overlay(6, topology="ring")
+        assert list(overlay.neighbors(0)) == [1, 5]
+
+    def test_node_bounds_checked(self):
+        overlay = build_overlay(4)
+        with pytest.raises(GossipError):
+            overlay.neighbors(10)
+
+
+class TestNeighborSampling:
+    def test_sample_returns_neighbor(self, fresh_rng):
+        overlay = build_overlay(10, topology="ring")
+        for node in range(10):
+            peer = overlay.sample_neighbor(node, fresh_rng)
+            assert peer in set(overlay.neighbors(node))
+
+    def test_sample_respects_online_filter(self, fresh_rng):
+        overlay = build_overlay(5, topology="complete")
+        online = {0, 3}
+        for _ in range(10):
+            peer = overlay.sample_neighbor(0, fresh_rng, online=online)
+            assert peer == 3
+
+    def test_sample_none_when_no_online_neighbor(self, fresh_rng):
+        overlay = build_overlay(5, topology="complete")
+        assert overlay.sample_neighbor(0, fresh_rng, online={0}) is None
+
+    def test_sampling_is_roughly_uniform(self):
+        overlay = build_overlay(4, topology="complete")
+        rng = np.random.default_rng(0)
+        counts = {1: 0, 2: 0, 3: 0}
+        for _ in range(3000):
+            counts[overlay.sample_neighbor(0, rng)] += 1
+        for count in counts.values():
+            assert count == pytest.approx(1000, rel=0.15)

@@ -1,0 +1,87 @@
+"""Tests of the Laplace mechanism and the sensitivity model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError, ValidationError
+from repro.privacy import (
+    SensitivityModel,
+    expected_absolute_noise,
+    laplace_mechanism,
+    laplace_tail_probability,
+    sample_laplace,
+)
+
+
+class TestSensitivityModel:
+    def test_total_sensitivity(self):
+        model = SensitivityModel(series_length=48, value_bound=1.0, count_bound=1.0)
+        assert model.sum_sensitivity == 48.0
+        assert model.count_sensitivity == 1.0
+        assert model.total_sensitivity == 49.0
+
+    def test_laplace_scale(self):
+        model = SensitivityModel(series_length=10, value_bound=2.0)
+        assert model.laplace_scale(epsilon=2.0) == pytest.approx((20.0 + 1.0) / 2.0)
+
+    def test_scale_decreases_with_epsilon(self):
+        model = SensitivityModel(series_length=10)
+        assert model.laplace_scale(2.0) < model.laplace_scale(0.5)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            SensitivityModel(series_length=0)
+        with pytest.raises(ValidationError):
+            SensitivityModel(series_length=5, value_bound=-1.0)
+        with pytest.raises(ValidationError):
+            SensitivityModel(series_length=5).laplace_scale(0.0)
+
+
+class TestLaplaceSampling:
+    def test_shape(self, fresh_rng):
+        assert sample_laplace(1.0, (3, 4), fresh_rng).shape == (3, 4)
+
+    def test_empirical_scale(self, fresh_rng):
+        samples = sample_laplace(2.0, 20_000, fresh_rng)
+        # Var(Laplace(b)) = 2 b^2.
+        assert np.var(samples) == pytest.approx(8.0, rel=0.1)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.1)
+
+    def test_rejects_bad_scale(self, fresh_rng):
+        with pytest.raises(ValidationError):
+            sample_laplace(0.0, 3, fresh_rng)
+
+    def test_mechanism_perturbs_with_expected_magnitude(self, fresh_rng):
+        values = np.zeros(20_000)
+        noisy = laplace_mechanism(values, sensitivity=1.0, epsilon=0.5, rng=fresh_rng)
+        # Scale is 2, so E|noise| = 2.
+        assert np.mean(np.abs(noisy)) == pytest.approx(2.0, rel=0.1)
+
+    def test_mechanism_noise_decreases_with_epsilon(self, fresh_rng):
+        values = np.zeros(5_000)
+        loose = laplace_mechanism(values, 1.0, 0.1, np.random.default_rng(1))
+        tight = laplace_mechanism(values, 1.0, 10.0, np.random.default_rng(1))
+        assert np.abs(tight).mean() < np.abs(loose).mean()
+
+
+class TestTailHelpers:
+    def test_tail_probability(self):
+        assert laplace_tail_probability(0.0, 1.0) == pytest.approx(1.0)
+        assert laplace_tail_probability(1.0, 1.0) == pytest.approx(np.exp(-1.0))
+        assert laplace_tail_probability(10.0, 1.0) < 1e-4
+
+    def test_tail_probability_empirically(self, fresh_rng):
+        scale = 1.5
+        samples = sample_laplace(scale, 50_000, fresh_rng)
+        threshold = 2.0
+        empirical = float(np.mean(np.abs(samples) > threshold))
+        assert empirical == pytest.approx(laplace_tail_probability(threshold, scale), abs=0.02)
+
+    def test_tail_rejects_negative_magnitude(self):
+        with pytest.raises(PrivacyError):
+            laplace_tail_probability(-1.0, 1.0)
+
+    def test_expected_absolute_noise(self):
+        assert expected_absolute_noise(3.0) == 3.0

@@ -1,0 +1,90 @@
+"""Tests of the distributed noise-share construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError, ValidationError
+from repro.privacy import (
+    NoiseShareSpec,
+    draw_noise_share,
+    effective_scale_with_dropouts,
+    reconstructed_variance,
+    share_variance,
+    sum_of_shares,
+)
+
+
+class TestSpec:
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            NoiseShareSpec(scale=0.0, n_shares=4, vector_length=3)
+        with pytest.raises(ValidationError):
+            NoiseShareSpec(scale=1.0, n_shares=0, vector_length=3)
+        with pytest.raises(ValidationError):
+            NoiseShareSpec(scale=1.0, n_shares=4, vector_length=0)
+
+    def test_variance_formulas(self):
+        spec = NoiseShareSpec(scale=2.0, n_shares=8, vector_length=1)
+        assert share_variance(spec) == pytest.approx(2 * 4.0 / 8)
+        assert reconstructed_variance(spec) == pytest.approx(8.0)
+
+
+class TestDistribution:
+    def test_single_share_shape_and_zero_mean(self, fresh_rng):
+        spec = NoiseShareSpec(scale=1.0, n_shares=16, vector_length=5)
+        share = draw_noise_share(spec, fresh_rng)
+        assert share.shape == (5,)
+
+    def test_share_variance_matches_theory(self):
+        spec = NoiseShareSpec(scale=1.5, n_shares=10, vector_length=20_000)
+        rng = np.random.default_rng(0)
+        share = draw_noise_share(spec, rng)
+        assert np.var(share) == pytest.approx(share_variance(spec), rel=0.1)
+
+    def test_sum_of_shares_is_laplace(self):
+        """The n-share sum must match Laplace(0, b): same variance, same tails."""
+        scale = 2.0
+        spec = NoiseShareSpec(scale=scale, n_shares=12, vector_length=20_000)
+        rng = np.random.default_rng(1)
+        total = sum_of_shares(spec, rng)
+        assert np.mean(total) == pytest.approx(0.0, abs=0.1)
+        assert np.var(total) == pytest.approx(2 * scale**2, rel=0.1)
+        # Laplace kurtosis is 3 (excess), well above the Gaussian 0: check the
+        # heavy tails really survive the share decomposition.
+        centred = total - total.mean()
+        excess_kurtosis = np.mean(centred**4) / np.var(centred) ** 2 - 3.0
+        assert excess_kurtosis > 1.0
+
+    def test_sum_with_one_share_is_plain_laplace_difference(self):
+        spec = NoiseShareSpec(scale=1.0, n_shares=1, vector_length=10_000)
+        total = sum_of_shares(spec, np.random.default_rng(2))
+        assert np.var(total) == pytest.approx(2.0, rel=0.15)
+
+    def test_shares_from_different_draws_are_independent(self, fresh_rng):
+        spec = NoiseShareSpec(scale=1.0, n_shares=4, vector_length=5_000)
+        a = draw_noise_share(spec, fresh_rng)
+        b = draw_noise_share(spec, fresh_rng)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+
+class TestDropouts:
+    def test_full_delivery_keeps_scale(self):
+        spec = NoiseShareSpec(scale=3.0, n_shares=10, vector_length=1)
+        assert effective_scale_with_dropouts(spec, 10) == pytest.approx(3.0)
+
+    def test_partial_delivery_shrinks_scale(self):
+        spec = NoiseShareSpec(scale=3.0, n_shares=10, vector_length=1)
+        assert effective_scale_with_dropouts(spec, 5) == pytest.approx(3.0 * np.sqrt(0.5))
+
+    def test_zero_delivery(self):
+        spec = NoiseShareSpec(scale=3.0, n_shares=10, vector_length=1)
+        assert effective_scale_with_dropouts(spec, 0) == 0.0
+
+    def test_rejects_invalid_counts(self):
+        spec = NoiseShareSpec(scale=1.0, n_shares=4, vector_length=1)
+        with pytest.raises(PrivacyError):
+            effective_scale_with_dropouts(spec, 5)
+        with pytest.raises(PrivacyError):
+            effective_scale_with_dropouts(spec, -1)

@@ -1,0 +1,64 @@
+"""Tests of the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.clustering
+        import repro.core
+        import repro.crypto
+        import repro.datasets
+        import repro.gossip
+        import repro.privacy
+        import repro.simulation
+        import repro.timeseries
+
+        for module in (
+            repro.analysis, repro.baselines, repro.clustering, repro.core, repro.crypto,
+            repro.datasets, repro.gossip, repro.privacy, repro.simulation, repro.timeseries,
+        ):
+            assert hasattr(module, "__all__")
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+    def test_exception_hierarchy(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            value = getattr(exceptions, name)
+            if isinstance(value, type) and issubclass(value, Exception) and name != "ReproError":
+                if value.__module__ == "repro.exceptions":
+                    assert issubclass(value, exceptions.ReproError)
+
+
+class TestQuickstartDocstring:
+    def test_quickstart_snippet_runs(self):
+        """The snippet advertised in the package docstring must keep working."""
+        homes = repro.generate_cer_like(n_households=20, n_days=1, seed=1)
+        config = repro.ChiaroscuroConfig().with_overrides(
+            kmeans={"n_clusters": 2, "max_iterations": 2},
+            privacy={"epsilon": 2.0, "noise_shares": 8},
+            gossip={"cycles_per_aggregation": 4},
+            crypto={"threshold": 2, "n_key_shares": 4},
+            simulation={"n_participants": 20},
+        )
+        result = repro.run_chiaroscuro(homes, config)
+        assert result.profiles.shape == (2, 48)
+
+    def test_default_config_exposed(self):
+        assert repro.DEFAULT_CONFIG.kmeans.n_clusters == 5
+        assert "geometric" in repro.BUDGET_STRATEGIES

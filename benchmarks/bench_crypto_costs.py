@@ -14,11 +14,14 @@ iteration" range the paper calls affordable for personal devices.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from conftest import run_once
 
 from repro.analysis import CostModel, ProtocolWorkload, format_table, measure_crypto_costs
 from repro.crypto import damgard_jurik as dj
+from repro.crypto.backends import DamgardJurikBackend, PlainBackend
+from repro.gossip.encrypted_sum import average_estimates, fresh_estimate
 
 KEY_SIZES = [256, 512, 1024]
 
@@ -57,6 +60,62 @@ def test_encryption_throughput_single_op(benchmark):
     """Raw single-encryption latency with a realistic 1024-bit key."""
     public, _private = dj.generate_keypair(key_bits=1024, s=1)
     benchmark(dj.encrypt, public, 123456789)
+
+
+@pytest.mark.parametrize("packing", ["off", "auto"])
+def test_packed_gossip_exchange_costs(benchmark, packing):
+    """Operation counts and wall clock of gossip exchanges, packed vs off.
+
+    The plain backend widens its simulated plaintext to the 2048-bit space of
+    a 4096-bit degree-1 ciphertext when packing is on; the counters then show
+    the ≥ 4× (here ~30×) cut in bigint operations that the packed layer buys
+    on a 64-point series.
+    """
+    backend = PlainBackend(threshold=3, n_shares=5, packing=packing)
+    series = np.linspace(0.0, 1.0, 64)
+
+    def exchanges():
+        backend.counter.reset()
+        first = fresh_estimate(backend, series)
+        second = fresh_estimate(backend, series[::-1])
+        for _ in range(50):
+            averaged = average_estimates(backend, first, second)
+            first, second = second, averaged
+        return backend.counter.as_dict()
+
+    counts = benchmark(exchanges)
+    row = {"packing": packing, "slots": backend.packing.slots if backend.is_packed else 1}
+    row.update(counts)
+    print()
+    print(format_table([row], title=f"E3 - gossip exchange crypto ops, packing={packing}"))
+    benchmark.extra_info.update(row)
+    if packing == "auto":
+        assert counts["encryptions"] * 4 <= 2 * 64
+        assert counts["additions"] * 4 <= 50 * 3 * 64
+
+
+@pytest.mark.parametrize("packing", ["off", "auto"])
+def test_packed_real_encryption_walltime(benchmark, packing):
+    """Wall-clock win of packing with *real* Damgård–Jurik encryption.
+
+    Packing a 64-point series into ~2048-bit plaintext slots divides the
+    number of modular exponentiations by the slot count, which is the whole
+    point of the packed cipher layer.
+    """
+    backend = DamgardJurikBackend(
+        key_bits=512, degree=1, threshold=3, n_shares=5, packing=packing,
+        packing_weight_bits=30,
+    )
+    series = np.linspace(0.0, 1.0, 64)
+    vector = benchmark(backend.encrypt_vector, series)
+    print()
+    print(format_table(
+        [{"packing": packing, "ciphertexts": vector.n_ciphertexts,
+          "encryptions_counted": backend.counter.encryptions}],
+        title=f"E3 - real 512-bit encryption of a 64-point series, packing={packing}",
+    ))
+    if packing == "auto":
+        assert vector.n_ciphertexts * 4 <= 64
 
 
 def test_extrapolated_run_costs(benchmark):

@@ -62,6 +62,48 @@ def test_quality_vs_population_at_fixed_epsilon(benchmark, bench_config):
     assert rows[-1]["relative_inertia"] <= rows[0]["relative_inertia"] * 1.2
 
 
+def test_packed_ciphertexts_cut_costs_without_changing_results(benchmark, bench_config):
+    """Packing is a pure cost optimisation: identical output, fewer bigint ops.
+
+    The packed run must produce bit-identical profiles (the fixed-point
+    arithmetic is exact in both layouts) while the operation counters and the
+    network volume drop by roughly the slot count.
+    """
+    collection = _collection(POPULATIONS[0])
+
+    def sweep():
+        rows = []
+        results = {}
+        for packing in ("off", "auto"):
+            config = bench_config.with_overrides(
+                simulation={"n_participants": POPULATIONS[0]},
+                privacy={"epsilon": 2.0},
+                kmeans={"n_clusters": 4, "max_iterations": 5},
+                crypto={"packing": packing},
+            )
+            result = run_chiaroscuro(collection, config)
+            results[packing] = result
+            rows.append({
+                "packing": packing,
+                "slots": result.metadata["packing"]["slots"],
+                "encryptions": result.costs.encryptions,
+                "homomorphic_additions": result.costs.homomorphic_additions,
+                "bytes_sent": result.costs.bytes_sent,
+                "messages_sent": result.costs.messages_sent,
+            })
+        assert (results["off"].profiles == results["auto"].profiles).all()
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        rows, title="E10c - packed ciphertexts: identical quality, smaller costs",
+    ))
+    off, auto = rows[0], rows[1]
+    assert auto["encryptions"] * 4 <= off["encryptions"]
+    assert auto["bytes_sent"] * 2 <= off["bytes_sent"]
+
+
 def test_demo_scaling_rule_keeps_quality_constant(benchmark, bench_config):
     """Scale ε with 1/population to keep the noise/population ratio constant."""
     base_population = POPULATIONS[0]

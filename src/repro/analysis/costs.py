@@ -127,6 +127,11 @@ class ProtocolWorkload:
     ciphertexts: data and noise estimates), performs one homomorphic
     addition per estimate component per gossip exchange, asks the committee
     for threshold partial decryptions of k(T+1) components and combines them.
+
+    With slot packing enabled (``slots > 1``), every per-cluster estimate
+    travels as ``ceil((T+1) / slots)`` ciphertexts instead of ``T+1``, and
+    every per-ciphertext charge — encryptions, homomorphic additions,
+    partial decryptions, combinations, bytes — shrinks accordingly.
     """
 
     n_clusters: int
@@ -135,6 +140,7 @@ class ProtocolWorkload:
     gossip_cycles: int
     exchanges_per_cycle: int
     threshold: int
+    slots: int = 1
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_clusters, "n_clusters")
@@ -143,16 +149,22 @@ class ProtocolWorkload:
         check_positive_int(self.gossip_cycles, "gossip_cycles")
         check_positive_int(self.exchanges_per_cycle, "exchanges_per_cycle")
         check_positive_int(self.threshold, "threshold")
+        check_positive_int(self.slots, "slots")
 
     @property
     def components_per_estimate(self) -> int:
-        """Ciphertext components of one per-cluster estimate (series + count)."""
+        """Logical components of one per-cluster estimate (series + count)."""
         return self.series_length + 1
+
+    @property
+    def ciphertexts_per_estimate(self) -> int:
+        """Ciphertexts actually carried per estimate (packed when slots > 1)."""
+        return -(-self.components_per_estimate // self.slots)
 
     @property
     def encryptions_per_iteration(self) -> int:
         """Fresh encryptions per participant per iteration (data + noise sides)."""
-        return 2 * self.n_clusters * self.components_per_estimate
+        return 2 * self.n_clusters * self.ciphertexts_per_estimate
 
     @property
     def additions_per_iteration(self) -> int:
@@ -162,19 +174,19 @@ class ProtocolWorkload:
         of T+1 components, with an extra scalar multiplication counted as one
         addition-equivalent), plus the final noise addition.
         """
-        per_exchange = 3 * self.n_clusters * self.components_per_estimate
+        per_exchange = 3 * self.n_clusters * self.ciphertexts_per_estimate
         exchanges = 2 * self.gossip_cycles * self.exchanges_per_cycle
-        return per_exchange * exchanges + self.n_clusters * self.components_per_estimate
+        return per_exchange * exchanges + self.n_clusters * self.ciphertexts_per_estimate
 
     @property
     def partial_decryptions_per_iteration(self) -> int:
         """Partial decryptions computed *for* one participant per iteration."""
-        return self.threshold * self.n_clusters * self.components_per_estimate
+        return self.threshold * self.n_clusters * self.ciphertexts_per_estimate
 
     @property
     def combinations_per_iteration(self) -> int:
         """Share combinations per participant per iteration."""
-        return self.n_clusters * self.components_per_estimate
+        return self.n_clusters * self.ciphertexts_per_estimate
 
     @property
     def messages_per_iteration(self) -> int:
@@ -234,7 +246,7 @@ class CostModel:
             + workload.combinations_per_iteration * self.profile.combination_seconds
         )
         payload = self.profile.ciphertext_bytes * workload.n_clusters * (
-            workload.components_per_estimate
+            workload.ciphertexts_per_estimate
         )
         gossip_bytes = 2 * payload * 2 * workload.gossip_cycles * workload.exchanges_per_cycle
         decryption_bytes = 2 * payload * workload.threshold

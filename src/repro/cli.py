@@ -35,6 +35,7 @@ from .analysis import (
 )
 from .config import ChiaroscuroConfig
 from .core import run_chiaroscuro
+from .crypto import normalize_packing
 from .datasets import available_datasets, load_dataset
 from .exceptions import ReproError
 
@@ -61,7 +62,7 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
                  "budget_strategy": args.budget_strategy},
         gossip={"cycles_per_aggregation": args.gossip_cycles},
         smoothing={"method": args.smoothing},
-        crypto={"backend": args.backend},
+        crypto={"backend": args.backend, "packing": normalize_packing(args.packing)},
         simulation={"n_participants": args.participants, "seed": args.seed},
     )
 
@@ -85,6 +86,8 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="plain",
                         choices=["plain", "paillier", "damgard_jurik"],
                         help="cipher backend (plain = demo mode with simulated crypto)")
+    parser.add_argument("--packing", default="auto",
+                        help="ciphertext slot packing: auto, off, or a slot count")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -138,7 +141,7 @@ def _command_crypto_bench(args: argparse.Namespace) -> int:
     workload = ProtocolWorkload(
         n_clusters=args.clusters, series_length=args.series_length,
         iterations=args.iterations, gossip_cycles=args.gossip_cycles,
-        exchanges_per_cycle=1, threshold=args.threshold,
+        exchanges_per_cycle=1, threshold=args.threshold, slots=args.slots,
     )
     rows = CostModel(profile).sweep_population(workload, args.populations)
     if args.json:
@@ -176,6 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
     crypto_parser.add_argument("--series-length", type=int, default=48)
     crypto_parser.add_argument("--iterations", type=int, default=10)
     crypto_parser.add_argument("--gossip-cycles", type=int, default=12)
+    crypto_parser.add_argument("--slots", type=int, default=1,
+                               help="ciphertext slots per plaintext charged by the model")
     crypto_parser.add_argument("--populations", type=int, nargs="+",
                                default=[10**3, 10**6])
     crypto_parser.add_argument("--json", action="store_true")

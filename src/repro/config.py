@@ -21,7 +21,8 @@ from ._validation import (
     check_positive_int,
     check_probability,
 )
-from .exceptions import ConfigurationError
+from .crypto.backends import normalize_packing
+from .exceptions import ConfigurationError, ValidationError
 
 #: Budget-distribution strategies shipped with the library (Section II.B,
 #: "quality-enhancing heuristics").
@@ -153,6 +154,14 @@ class CryptoConfig:
     encoding_scale:
         Fixed-point scale used to encode real-valued time-series points into
         the integer plaintext space (value -> round(value * scale)).
+    packing:
+        Ciphertext slot packing: ``"auto"`` (default) packs as many
+        fixed-point coordinates per ciphertext as the plaintext space
+        supports, ``"off"`` reproduces the historical one-ciphertext-per-
+        coordinate layout byte for byte, and a positive integer caps the
+        slot count.  Packing divides the number of bigint encryptions,
+        homomorphic operations and ciphertext bytes per vector by roughly
+        the slot count.
     """
 
     backend: str = "plain"
@@ -161,6 +170,7 @@ class CryptoConfig:
     threshold: int = 3
     n_key_shares: int = 8
     encoding_scale: int = 10**6
+    packing: int | str = "auto"
 
     def __post_init__(self) -> None:
         check_in_choices(self.backend, CRYPTO_BACKENDS, "backend")
@@ -175,6 +185,10 @@ class CryptoConfig:
             raise ConfigurationError(
                 f"threshold ({self.threshold}) cannot exceed n_key_shares ({self.n_key_shares})"
             )
+        try:
+            normalize_packing(self.packing)
+        except ValidationError as exc:
+            raise ConfigurationError(str(exc)) from exc
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,13 @@
 """Chiaroscuro core: diptych, participant state machine, runner and results."""
 
-from .collaborative import DecryptionOutcome, collaborative_decrypt, share_holder_ids, share_index_of
+from .collaborative import (
+    BatchDecryptionOutcome,
+    DecryptionOutcome,
+    collaborative_decrypt,
+    collaborative_decrypt_many,
+    share_holder_ids,
+    share_index_of,
+)
 from .convergence import TerminationCriteria
 from .diptych import Diptych, build_contribution, merge_diptychs
 from .execution_log import ExecutionLog, IterationRecord
@@ -16,7 +23,9 @@ __all__ = [
     "Phase",
     "TerminationCriteria",
     "DecryptionOutcome",
+    "BatchDecryptionOutcome",
     "collaborative_decrypt",
+    "collaborative_decrypt_many",
     "share_holder_ids",
     "share_index_of",
     "ExecutionLog",

@@ -37,7 +37,7 @@ from ..privacy.noise_shares import NoiseShareSpec, draw_noise_share
 from ..privacy.strategies import BudgetStrategy, make_budget_strategy
 from ..simulation.engine import CycleEngine
 from ..simulation.node import Node
-from .collaborative import collaborative_decrypt
+from .collaborative import collaborative_decrypt, collaborative_decrypt_many
 from .convergence import TerminationCriteria
 from .diptych import Diptych, build_contribution, merge_diptychs
 
@@ -278,23 +278,52 @@ class ChiaroscuroParticipant(Node):
         counts = np.zeros(self.n_clusters)
         min_count = 1.0 / (2.0 * max(1, engine.n_nodes))
         try:
-            for cluster in range(self.n_clusters):
-                combined = add_estimates(
-                    self.backend,
-                    self.diptych.data_estimates[cluster],
-                    self.diptych.noise_estimates[cluster],
-                )
-                outcome = collaborative_decrypt(engine, self.node_id, self.backend, combined)
-                average_sum = outcome.values[: self.series_length]
-                average_count = float(outcome.values[self.series_length])
-                counts[cluster] = average_count
-                if average_count <= min_count:
-                    perturbed[cluster] = self.centroids[cluster]
-                else:
-                    perturbed[cluster] = average_sum / average_count
+            if self.backend.is_packed:
+                # Packed/batched mode: homomorphically add the noise to every
+                # per-cluster estimate, then decrypt all of them in a single
+                # committee round-trip (2·threshold messages instead of
+                # 2·threshold per cluster).
+                combined = [
+                    add_estimates(
+                        self.backend,
+                        self.diptych.data_estimates[cluster],
+                        self.diptych.noise_estimates[cluster],
+                    )
+                    for cluster in range(self.n_clusters)
+                ]
+                decrypted = collaborative_decrypt_many(
+                    engine, self.node_id, self.backend, combined
+                ).values
+            else:
+                # Historical layout: one noise addition and one decryption
+                # round-trip per cluster, byte-for-byte as before packing.
+                # Deliberately NOT routed through collaborative_decrypt_many:
+                # the add for cluster c must stay interleaved with cluster
+                # c's decryption so that a ThresholdError retry cycle charges
+                # exactly the operations the pre-packing code charged.
+                decrypted = []
+                for cluster in range(self.n_clusters):
+                    combined_estimate = add_estimates(
+                        self.backend,
+                        self.diptych.data_estimates[cluster],
+                        self.diptych.noise_estimates[cluster],
+                    )
+                    decrypted.append(
+                        collaborative_decrypt(
+                            engine, self.node_id, self.backend, combined_estimate
+                        ).values
+                    )
         except ThresholdError:
             # Not enough decryption helpers online this cycle; retry later.
             return
+        for cluster, values in enumerate(decrypted):
+            average_sum = values[: self.series_length]
+            average_count = float(values[self.series_length])
+            counts[cluster] = average_count
+            if average_count <= min_count:
+                perturbed[cluster] = self.centroids[cluster]
+            else:
+                perturbed[cluster] = average_sum / average_count
         bound = self.config.privacy.value_bound
         perturbed = np.clip(perturbed, 0.0, bound)
         # Empty-cluster repair: split the (noisily) largest cluster using only

@@ -20,7 +20,10 @@ from ..crypto.backends import CipherBackend, make_backend
 from ..exceptions import ConfigurationError, ProtocolError
 from ..gossip.encrypted_sum import check_headroom
 from ..gossip.overlay import build_overlay
+from ..privacy.laplace import SensitivityModel
+from ..privacy.noise_shares import slot_magnitude_bound
 from ..privacy.probabilistic import guarantee_for_run
+from ..privacy.strategies import make_budget_strategy
 from ..simulation.engine import CycleEngine
 from ..timeseries import TimeSeriesCollection
 from .execution_log import ExecutionLog, IterationRecord
@@ -57,6 +60,37 @@ def denormalize_profiles(profiles: np.ndarray, transform: dict[str, float]) -> n
     if scale == 0:
         raise ProtocolError("invalid normalisation transform: scale is zero")
     return profiles / scale + offset
+
+
+def _packed_slot_bound(
+    config: ChiaroscuroConfig, series_length: int, value_bound: float
+) -> float:
+    """Magnitude one fresh packed slot must hold for this configuration.
+
+    A slot carries either one (clipped) series point, one membership
+    indicator, or one noise-share coordinate.  The noise dominates: its
+    Laplace scale follows from the sensitivity and the *smallest*
+    per-iteration budget the configured strategy may grant, inflated by the
+    noise-share tail bound so that encoding a share essentially never
+    overflows a slot.
+    """
+    sensitivity = SensitivityModel(
+        series_length=series_length,
+        value_bound=config.privacy.value_bound,
+        count_bound=config.privacy.count_bound,
+    )
+    strategy = make_budget_strategy(
+        config.privacy.budget_strategy,
+        config.privacy.epsilon,
+        config.kmeans.max_iterations,
+        geometric_ratio=config.privacy.geometric_ratio,
+    )
+    # Whatever the runtime spending pattern, every strategy grants either 0
+    # (budget exhausted) or at least this much — the unconditional bound the
+    # slot width must absorb.
+    min_epsilon = strategy.minimum_iteration_epsilon()
+    noise_bound = slot_magnitude_bound(sensitivity.laplace_scale(min_epsilon))
+    return max(value_bound, 1.0, config.privacy.count_bound) + noise_bound
 
 
 class _RunObserver:
@@ -193,6 +227,17 @@ def run_chiaroscuro(
         transform = {"offset": 0.0, "scale": 1.0, "value_bound": value_bound}
     n_participants, series_length = data.shape
 
+    # Each iteration performs at most ~2 * cycles averaging steps per estimate
+    # (own exchanges plus exchanges initiated by peers).
+    total_halvings = (
+        2 * config.gossip.cycles_per_aggregation * config.gossip.exchanges_per_cycle + 4
+    )
+    # Estimate halvings compound across merges (both parties adopt the same
+    # averaged estimate), empirically reaching ~6 per cycle in the worst
+    # lineage; the packed slot headroom must absorb that whole depth.
+    packed_halving_budget = (
+        6 * config.gossip.cycles_per_aggregation * config.gossip.exchanges_per_cycle + 16
+    )
     backend = make_backend(
         config.crypto.backend,
         key_bits=config.crypto.key_bits,
@@ -200,14 +245,14 @@ def run_chiaroscuro(
         threshold=config.crypto.threshold,
         n_shares=config.crypto.n_key_shares,
         encoding_scale=config.crypto.encoding_scale,
+        packing=config.crypto.packing,
+        packing_value_bound=_packed_slot_bound(config, series_length, value_bound),
+        packing_weight_bits=packed_halving_budget,
     )
-    # Each iteration performs at most ~2 * cycles averaging steps per estimate
-    # (own exchanges plus exchanges initiated by peers).
     check_headroom(
         backend,
         value_bound=max(value_bound, 1.0),
-        total_halvings=2 * config.gossip.cycles_per_aggregation
-        * config.gossip.exchanges_per_cycle + 4,
+        total_halvings=total_halvings,
     )
     overlay = build_overlay(
         n_participants,
@@ -256,6 +301,11 @@ def run_chiaroscuro(
             replace=False,
         ).tolist()
     )
+    packing_info = {
+        "enabled": backend.is_packed,
+        "slots": backend.packing.slots if backend.packing is not None else 1,
+        "slot_bits": backend.packing.slot_bits if backend.packing is not None else 0,
+    }
     log = ExecutionLog(metadata={
         "dataset": collection.name,
         "n_participants": n_participants,
@@ -263,6 +313,7 @@ def run_chiaroscuro(
         "config": config.describe(),
         "normalization": transform,
         "tracked_participants": tracked_ids,
+        "packing": packing_info,
     })
     observer = _RunObserver(
         participants, data, initial_centroids, tracked_ids, engine, backend, log
@@ -321,6 +372,7 @@ def run_chiaroscuro(
         "normalization": transform,
         "tracked_participants": tracked_ids,
         "dataset": collection.name,
+        "packing": packing_info,
     }
     return ChiaroscuroResult(
         profiles=profiles,

@@ -10,6 +10,7 @@ from .backends import (
     PartialVectorDecryption,
     PlainBackend,
     make_backend,
+    normalize_packing,
 )
 from .damgard_jurik import (
     DamgardJurikPrivateKey,
@@ -17,7 +18,7 @@ from .damgard_jurik import (
     dlog_one_plus_n,
     generate_keypair,
 )
-from .encoding import FixedPointCodec
+from .encoding import DEFAULT_WEIGHT_BITS, FixedPointCodec, PackedCodec
 from .math_utils import (
     crt_pair,
     generate_prime,
@@ -47,11 +48,14 @@ __all__ = [
     "PartialVectorDecryption",
     "OperationCounter",
     "make_backend",
+    "normalize_packing",
     "DamgardJurikPublicKey",
     "DamgardJurikPrivateKey",
     "generate_keypair",
     "dlog_one_plus_n",
     "FixedPointCodec",
+    "PackedCodec",
+    "DEFAULT_WEIGHT_BITS",
     "PaillierPublicKey",
     "PaillierPrivateKey",
     "generate_paillier_keypair",

@@ -15,19 +15,35 @@ measurements.  This module reproduces exactly that design:
 
 Both expose the same :class:`CipherBackend` interface, so the protocol code
 is byte-for-byte identical under either backend.
+
+The base class owns the whole encode→encrypt→operate→decrypt→decode
+pipeline as template methods; concrete backends only provide the primitive
+payload operations (encrypt a list of plaintexts, add two payloads, …).
+This is what makes **slot packing** a backend-local concern: when packing is
+enabled (see :class:`~repro.crypto.encoding.PackedCodec`), a d-coordinate
+vector travels as ``ceil(d / slots)`` ciphertexts instead of d, every
+homomorphic operation touches that many bigints, and the operation counters
+and payload sizes shrink accordingly — while the protocol layers keep
+handling the same opaque :class:`EncryptedVector`.
+
+Every ciphertext carries a public integer *weight*: the number of fresh
+(weight-1) encryptions folded into it, with additions summing weights and
+plaintext multiplications scaling them.  The packed decoder needs the weight
+to subtract the accumulated per-slot offsets exactly; unpacked payloads
+ignore it.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import CryptoError, ThresholdError, ValidationError
 from . import damgard_jurik as dj
-from .encoding import FixedPointCodec
+from .encoding import DEFAULT_WEIGHT_BITS, FixedPointCodec, PackedCodec
 from .threshold import (
     KeyShare,
     PartialDecryption,
@@ -37,10 +53,44 @@ from .threshold import (
     partial_decrypt,
 )
 
+#: Packing knob values accepted everywhere (configuration, CLI, factories):
+#: ``"off"`` disables packing, ``"auto"`` packs as many slots as the
+#: plaintext space supports, an integer caps the slot count.
+PACKING_CHOICES = ("auto", "off")
+
+
+def normalize_packing(packing: int | str) -> int | str:
+    """Validate and canonicalise a ``packing`` knob value.
+
+    Returns ``"off"``, ``"auto"`` or a positive slot count.  Accepts integers
+    and numeric strings so the CLI can pass its argument through verbatim.
+    """
+    if isinstance(packing, bool):
+        raise ValidationError(f"invalid packing option {packing!r}")
+    if isinstance(packing, int):
+        if packing < 1:
+            raise ValidationError(f"packing slot count must be >= 1, got {packing}")
+        return packing
+    if isinstance(packing, str):
+        if packing in PACKING_CHOICES:
+            return packing
+        try:
+            return normalize_packing(int(packing))
+        except (TypeError, ValueError):
+            pass
+    raise ValidationError(
+        f"invalid packing option {packing!r}: expected 'auto', 'off' or a slot count"
+    )
+
 
 @dataclass
 class OperationCounter:
-    """Counts of cryptographic operations, used by the cost model."""
+    """Counts of cryptographic operations, used by the cost model.
+
+    Counts are per *ciphertext*, not per logical coordinate: with packing
+    enabled they genuinely shrink by the slot count, which is exactly what
+    the cost model should charge for.
+    """
 
     encryptions: int = 0
     additions: int = 0
@@ -75,31 +125,54 @@ class OperationCounter:
 
 @dataclass(frozen=True)
 class EncryptedVector:
-    """An element-wise encrypted vector (one ciphertext per component).
+    """An opaque encrypted vector owned by the backend that produced it.
 
-    The payload is backend-specific: Damgård–Jurik ciphertexts for the real
-    backend, fixed-point encoded integers for the plain backend.  Protocol
+    Without packing the payload holds one ciphertext per coordinate; with
+    packing it holds ``ceil(length / slots)`` packed ciphertexts.  Protocol
     code never inspects the payload; it only passes vectors back to the
     backend that produced them.
+
+    ``weight`` is the public homomorphic weight (fresh encryptions folded
+    in); the packed decoder uses it to subtract the accumulated per-slot
+    offsets.  ``len(vector)`` is always the *logical* coordinate count.
     """
 
     payload: tuple[int, ...]
     backend_name: str
+    length: int | None = None
+    packed: bool = False
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length is None:
+            object.__setattr__(self, "length", len(self.payload))
+
+    @property
+    def n_ciphertexts(self) -> int:
+        """Number of ciphertexts actually carried (what bandwidth costs)."""
+        return len(self.payload)
 
     def __len__(self) -> int:
-        return len(self.payload)
+        return int(self.length)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
 class PartialVectorDecryption:
-    """The partial decryption of every component of an encrypted vector."""
+    """The partial decryption of every ciphertext of an encrypted vector."""
 
     share_index: int
     payload: tuple[int, ...]
     backend_name: str
+    length: int | None = None
+    packed: bool = False
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length is None:
+            object.__setattr__(self, "length", len(self.payload))
 
     def __len__(self) -> int:
-        return len(self.payload)
+        return int(self.length)  # type: ignore[arg-type]
 
 
 class CipherBackend(ABC):
@@ -109,12 +182,24 @@ class CipherBackend(ABC):
     encrypt a zero vector, add two encrypted vectors, produce a partial
     decryption with one key share, and combine enough partial decryptions
     back into a real-valued vector.
+
+    The base class implements all of them as templates over five primitive
+    payload operations (:meth:`_encrypt_plaintexts`, :meth:`_add_payloads`,
+    :meth:`_multiply_payload`, :meth:`_partial_decrypt_payload`,
+    :meth:`_combine_payloads`), so encoding, packing, weight tracking,
+    validation and operation counting live in exactly one place.
     """
 
     #: Short identifier, also stamped on the vectors the backend produces.
     name: str = "abstract"
 
-    def __init__(self, codec: FixedPointCodec, threshold: int, n_shares: int) -> None:
+    def __init__(
+        self,
+        codec: FixedPointCodec,
+        threshold: int,
+        n_shares: int,
+        packed_codec: PackedCodec | None = None,
+    ) -> None:
         if threshold > n_shares:
             raise ValidationError(
                 f"threshold ({threshold}) cannot exceed n_shares ({n_shares})"
@@ -122,14 +207,86 @@ class CipherBackend(ABC):
         self.codec = codec
         self.threshold = threshold
         self.n_shares = n_shares
+        self.packing = packed_codec
         self.counter = OperationCounter()
 
     # ------------------------------------------------------------------ helpers
+    @property
+    def is_packed(self) -> bool:
+        """Whether this backend packs several coordinates per ciphertext."""
+        return self.packing is not None
+
+    @property
+    def plaintext_capacity_bits(self) -> int:
+        """Bits one logical coordinate can grow into before overflowing.
+
+        Unpacked, that is the whole plaintext space; packed, it is one slot.
+        The gossip layer checks its halving budget against this.
+        """
+        if self.packing is not None:
+            return self.packing.slot_bits
+        return self.codec.modulus.bit_length() - 1
+
     def _check_vector(self, vector: EncryptedVector) -> None:
         if vector.backend_name != self.name:
             raise CryptoError(
                 f"vector produced by backend {vector.backend_name!r} passed to {self.name!r}"
             )
+        if vector.packed != self.is_packed:
+            raise CryptoError(
+                "vector packing layout does not match the backend "
+                f"(vector packed={vector.packed}, backend packed={self.is_packed})"
+            )
+
+    def _encode_vector(
+        self, values: Sequence[float] | Sequence[int] | np.ndarray, integer: bool = False
+    ) -> tuple[list[int], int]:
+        """Shared encode(-and-pack) step: values → plaintexts + logical length.
+
+        This is the single code path behind :meth:`encrypt_vector`,
+        :meth:`encrypt_integer_vector` and :meth:`encrypt_zero_vector` for
+        both the packed and unpacked layouts.
+        """
+        if integer:
+            ints = [int(value) for value in values]
+            if self.packing is not None:
+                return self.packing.pack_integer_vector(ints), len(ints)
+            return [self.codec.encode_integer(value) for value in ints], len(ints)
+        array = np.asarray(values, dtype=float).ravel()
+        if self.packing is not None:
+            return self.packing.pack_vector(array), int(array.size)
+        return self.codec.encode_vector(array), int(array.size)
+
+    def _vector(self, payload: Sequence[int], length: int, weight: int = 1) -> EncryptedVector:
+        return EncryptedVector(
+            payload=tuple(payload), backend_name=self.name, length=length,
+            packed=self.is_packed, weight=weight,
+        )
+
+    # ------------------------------------------------------------------ primitives
+    @abstractmethod
+    def _encrypt_plaintexts(self, plaintexts: Sequence[int]) -> tuple[int, ...]:
+        """Encrypt each plaintext integer into one ciphertext."""
+
+    @abstractmethod
+    def _add_payloads(
+        self, first: Sequence[int], second: Sequence[int]
+    ) -> tuple[int, ...]:
+        """Homomorphically add two equal-length ciphertext payloads."""
+
+    @abstractmethod
+    def _multiply_payload(self, payload: Sequence[int], factor: int) -> tuple[int, ...]:
+        """Homomorphically multiply every ciphertext by a public integer."""
+
+    @abstractmethod
+    def _partial_decrypt_payload(
+        self, share_index: int, payload: Sequence[int]
+    ) -> tuple[int, ...]:
+        """Partially decrypt every ciphertext with one key share."""
+
+    @abstractmethod
+    def _combine_payloads(self, partials: Sequence[PartialVectorDecryption]) -> list[int]:
+        """Combine partial decryptions into the list of plaintext integers."""
 
     @property
     @abstractmethod
@@ -137,37 +294,76 @@ class CipherBackend(ABC):
         """Size in bits of one ciphertext (for the network cost model)."""
 
     # ------------------------------------------------------------------ interface
-    @abstractmethod
     def encrypt_vector(self, values: Sequence[float] | np.ndarray) -> EncryptedVector:
-        """Encrypt a real-valued vector component-wise."""
+        """Encrypt a real-valued vector (packed when packing is enabled)."""
+        plaintexts, length = self._encode_vector(values)
+        ciphertexts = self._encrypt_plaintexts(plaintexts)
+        self.counter.encryptions += len(ciphertexts)
+        return self._vector(ciphertexts, length)
 
-    @abstractmethod
     def encrypt_integer_vector(self, values: Sequence[int]) -> EncryptedVector:
         """Encrypt a vector of exact integers (e.g. cluster counts)."""
+        plaintexts, length = self._encode_vector(values, integer=True)
+        ciphertexts = self._encrypt_plaintexts(plaintexts)
+        self.counter.encryptions += len(ciphertexts)
+        return self._vector(ciphertexts, length)
 
-    @abstractmethod
     def encrypt_zero_vector(self, length: int) -> EncryptedVector:
         """Encrypt the all-zero vector of the given length."""
+        if self.packing is not None:
+            plaintexts = self.packing.pack_vector(np.zeros(length))
+        else:
+            plaintexts = [0] * length
+        ciphertexts = self._encrypt_plaintexts(plaintexts)
+        self.counter.encryptions += len(ciphertexts)
+        return self._vector(ciphertexts, length)
 
-    @abstractmethod
     def add(self, first: EncryptedVector, second: EncryptedVector) -> EncryptedVector:
         """Homomorphically add two encrypted vectors component-wise."""
+        self._check_vector(first)
+        self._check_vector(second)
+        if len(first) != len(second):
+            raise CryptoError(f"vector lengths differ: {len(first)} vs {len(second)}")
+        weight = first.weight + second.weight
+        if self.packing is not None:
+            self.packing.check_weight(weight)
+        summed = self._add_payloads(first.payload, second.payload)
+        self.counter.additions += len(summed)
+        return self._vector(summed, len(first), weight=weight)
 
-    @abstractmethod
     def multiply_scalar(self, vector: EncryptedVector, factor: int) -> EncryptedVector:
         """Homomorphically multiply every component by a public integer factor.
 
         The encrypted gossip averaging uses this with powers of two to bring
         two estimates to a common fixed-point exponent before adding them.
         """
+        self._check_vector(vector)
+        if factor < 0:
+            raise CryptoError("scalar factors must be non-negative integers")
+        factor = int(factor)
+        if self.packing is not None and factor == 0:
+            # A zero factor would also zero the accumulated slot offsets,
+            # which the public weight could no longer describe.
+            raise CryptoError("packed vectors require strictly positive scalar factors")
+        weight = max(vector.weight * factor, 1)
+        if self.packing is not None:
+            self.packing.check_weight(weight)
+        scaled = self._multiply_payload(vector.payload, factor)
+        self.counter.additions += len(scaled)
+        return self._vector(scaled, len(vector), weight=weight)
 
-    @abstractmethod
     def partial_decrypt_vector(
         self, share_index: int, vector: EncryptedVector
     ) -> PartialVectorDecryption:
         """Produce the partial decryption of a vector with one key share."""
+        self._check_vector(vector)
+        payload = self._partial_decrypt_payload(share_index, vector.payload)
+        self.counter.partial_decryptions += len(payload)
+        return PartialVectorDecryption(
+            share_index=share_index, payload=payload, backend_name=self.name,
+            length=len(vector), packed=vector.packed, weight=vector.weight,
+        )
 
-    @abstractmethod
     def combine_vector(
         self, partials: Sequence[PartialVectorDecryption], integer: bool = False
     ) -> np.ndarray:
@@ -176,6 +372,28 @@ class CipherBackend(ABC):
         When *integer* is true the components are decoded as exact integers
         (cluster counts) instead of fixed-point reals.
         """
+        if not partials:
+            raise ThresholdError("no partial decryptions supplied")
+        lengths = {len(partial) for partial in partials}
+        payload_lengths = {len(partial.payload) for partial in partials}
+        if len(lengths) != 1 or len(payload_lengths) != 1:
+            raise ThresholdError("partial decryptions have inconsistent lengths")
+        for partial in partials:
+            if partial.backend_name != self.name:
+                raise CryptoError("partial decryption from a different backend")
+        plaintexts = self._combine_payloads(partials)
+        self.counter.combinations += len(plaintexts)
+        first = partials[0]
+        if self.packing is not None and first.packed:
+            return self.packing.unpack_vector(
+                plaintexts, len(first), weight=first.weight, integer=integer
+            )
+        if integer:
+            return np.array(
+                [float(self.codec.decode_integer(value)) for value in plaintexts],
+                dtype=float,
+            )
+        return self.codec.decode_vector(plaintexts)
 
     # ------------------------------------------------------------------ conveniences
     def decrypt_with_shares(
@@ -198,12 +416,20 @@ class DamgardJurikBackend(CipherBackend):
         threshold: int = 3,
         n_shares: int = 8,
         encoding_scale: int = 10**6,
+        packing: int | str = "off",
+        packing_value_bound: float = 1.0,
+        packing_weight_bits: int = DEFAULT_WEIGHT_BITS,
     ) -> None:
         public, shares, dealer_key = generate_threshold_keypair(
             key_bits=key_bits, s=degree, threshold=threshold, n_shares=n_shares
         )
-        codec = FixedPointCodec(modulus=public.public_key.plaintext_modulus, scale=encoding_scale)
-        super().__init__(codec=codec, threshold=threshold, n_shares=n_shares)
+        modulus = public.public_key.plaintext_modulus
+        codec = FixedPointCodec(modulus=modulus, scale=encoding_scale)
+        packed_codec = _plan_packing(
+            packing, modulus, encoding_scale, packing_value_bound, packing_weight_bits
+        )
+        super().__init__(codec=codec, threshold=threshold, n_shares=n_shares,
+                         packed_codec=packed_codec)
         self.threshold_public: ThresholdPublicKey = public
         self._shares: dict[int, KeyShare] = {share.index: share for share in shares}
         self._dealer_key = dealer_key
@@ -225,86 +451,43 @@ class DamgardJurikBackend(CipherBackend):
         except KeyError as exc:
             raise ThresholdError(f"no key share with index {index}") from exc
 
-    # ------------------------------------------------------------------ interface
-    def encrypt_vector(self, values: Sequence[float] | np.ndarray) -> EncryptedVector:
-        encoded = self.codec.encode_vector(values)
-        ciphertexts = tuple(dj.encrypt(self.public_key, value) for value in encoded)
-        self.counter.encryptions += len(ciphertexts)
-        return EncryptedVector(payload=ciphertexts, backend_name=self.name)
+    # ------------------------------------------------------------------ primitives
+    def _encrypt_plaintexts(self, plaintexts: Sequence[int]) -> tuple[int, ...]:
+        return tuple(dj.encrypt(self.public_key, value) for value in plaintexts)
 
-    def encrypt_integer_vector(self, values: Sequence[int]) -> EncryptedVector:
-        encoded = [self.codec.encode_integer(int(value)) for value in values]
-        ciphertexts = tuple(dj.encrypt(self.public_key, value) for value in encoded)
-        self.counter.encryptions += len(ciphertexts)
-        return EncryptedVector(payload=ciphertexts, backend_name=self.name)
-
-    def encrypt_zero_vector(self, length: int) -> EncryptedVector:
-        ciphertexts = tuple(dj.encrypt(self.public_key, 0) for _ in range(length))
-        self.counter.encryptions += length
-        return EncryptedVector(payload=ciphertexts, backend_name=self.name)
-
-    def add(self, first: EncryptedVector, second: EncryptedVector) -> EncryptedVector:
-        self._check_vector(first)
-        self._check_vector(second)
-        if len(first) != len(second):
-            raise CryptoError(f"vector lengths differ: {len(first)} vs {len(second)}")
-        summed = tuple(
-            dj.add_ciphertexts(self.public_key, a, b)
-            for a, b in zip(first.payload, second.payload)
+    def _add_payloads(
+        self, first: Sequence[int], second: Sequence[int]
+    ) -> tuple[int, ...]:
+        return tuple(
+            dj.add_ciphertexts(self.public_key, a, b) for a, b in zip(first, second)
         )
-        self.counter.additions += len(summed)
-        return EncryptedVector(payload=summed, backend_name=self.name)
 
-    def multiply_scalar(self, vector: EncryptedVector, factor: int) -> EncryptedVector:
-        self._check_vector(vector)
-        if factor < 0:
-            raise CryptoError("scalar factors must be non-negative integers")
-        scaled = tuple(
+    def _multiply_payload(self, payload: Sequence[int], factor: int) -> tuple[int, ...]:
+        return tuple(
             dj.multiply_plaintext(self.public_key, ciphertext, factor)
-            for ciphertext in vector.payload
+            for ciphertext in payload
         )
-        self.counter.additions += len(scaled)
-        return EncryptedVector(payload=scaled, backend_name=self.name)
 
-    def partial_decrypt_vector(
-        self, share_index: int, vector: EncryptedVector
-    ) -> PartialVectorDecryption:
-        self._check_vector(vector)
+    def _partial_decrypt_payload(
+        self, share_index: int, payload: Sequence[int]
+    ) -> tuple[int, ...]:
         share = self.share_for(share_index)
-        payload = tuple(
+        return tuple(
             partial_decrypt(self.threshold_public, share, ciphertext).value
-            for ciphertext in vector.payload
-        )
-        self.counter.partial_decryptions += len(payload)
-        return PartialVectorDecryption(
-            share_index=share_index, payload=payload, backend_name=self.name
+            for ciphertext in payload
         )
 
-    def combine_vector(
-        self, partials: Sequence[PartialVectorDecryption], integer: bool = False
-    ) -> np.ndarray:
-        if not partials:
-            raise ThresholdError("no partial decryptions supplied")
-        lengths = {len(partial) for partial in partials}
-        if len(lengths) != 1:
-            raise ThresholdError("partial decryptions have inconsistent lengths")
-        for partial in partials:
-            if partial.backend_name != self.name:
-                raise CryptoError("partial decryption from a different backend")
-        length = lengths.pop()
-        decoded = np.empty(length, dtype=float)
-        for component in range(length):
+    def _combine_payloads(self, partials: Sequence[PartialVectorDecryption]) -> list[int]:
+        plaintexts: list[int] = []
+        for component in range(len(partials[0].payload)):
             component_partials = [
                 PartialDecryption(index=partial.share_index, value=partial.payload[component])
                 for partial in partials
             ]
-            plaintext = combine_partial_decryptions(self.threshold_public, component_partials)
-            if integer:
-                decoded[component] = float(self.codec.decode_integer(plaintext))
-            else:
-                decoded[component] = self.codec.decode(plaintext)
-        self.counter.combinations += length
-        return decoded
+            plaintexts.append(
+                combine_partial_decryptions(self.threshold_public, component_partials)
+            )
+        return plaintexts
 
 
 class PlainBackend(CipherBackend):
@@ -316,6 +499,18 @@ class PlainBackend(CipherBackend):
     distinct tokens were gathered, mirroring the threshold rule).  Operation
     counts are identical to the real backend's, so the cost model can charge
     measured per-operation times.
+
+    The modular arithmetic runs on NumPy slabs — int64 when the modulus (and
+    scalar factor) leave enough room, Python-object arrays otherwise — so
+    large crypto-free simulations are not bottlenecked on per-coordinate
+    Python loops.
+
+    With packing enabled the simulated plaintext space is widened to match
+    the plaintext of the simulated ciphertext (``simulated_ciphertext_bits /
+    2``, the degree-1 Damgård–Jurik relation): the packed layout then mirrors
+    what the real backend would do with a key of that size, so the operation
+    counts and bandwidth the cost model charges stay faithful.  Packing
+    ``"off"`` keeps the historical ``modulus_bits`` layout byte for byte.
     """
 
     name = "plain"
@@ -327,65 +522,57 @@ class PlainBackend(CipherBackend):
         encoding_scale: int = 10**6,
         modulus_bits: int = 256,
         simulated_ciphertext_bits: int = 4096,
+        packing: int | str = "off",
+        packing_value_bound: float = 1.0,
+        packing_weight_bits: int = DEFAULT_WEIGHT_BITS,
     ) -> None:
-        codec = FixedPointCodec(modulus=1 << modulus_bits, scale=encoding_scale)
-        super().__init__(codec=codec, threshold=threshold, n_shares=n_shares)
+        if normalize_packing(packing) != "off":
+            modulus_bits = max(modulus_bits, simulated_ciphertext_bits // 2)
+        modulus = 1 << modulus_bits
+        codec = FixedPointCodec(modulus=modulus, scale=encoding_scale)
+        packed_codec = _plan_packing(
+            packing, modulus, encoding_scale, packing_value_bound, packing_weight_bits
+        )
+        super().__init__(codec=codec, threshold=threshold, n_shares=n_shares,
+                         packed_codec=packed_codec)
         self._simulated_ciphertext_bits = simulated_ciphertext_bits
 
     @property
     def ciphertext_bits(self) -> int:
         return self._simulated_ciphertext_bits
 
-    # ------------------------------------------------------------------ interface
-    def encrypt_vector(self, values: Sequence[float] | np.ndarray) -> EncryptedVector:
-        encoded = tuple(self.codec.encode_vector(values))
-        self.counter.encryptions += len(encoded)
-        return EncryptedVector(payload=encoded, backend_name=self.name)
+    # ------------------------------------------------------------------ primitives
+    def _encrypt_plaintexts(self, plaintexts: Sequence[int]) -> tuple[int, ...]:
+        return tuple(int(value) for value in plaintexts)
 
-    def encrypt_integer_vector(self, values: Sequence[int]) -> EncryptedVector:
-        encoded = tuple(self.codec.encode_integer(int(value)) for value in values)
-        self.counter.encryptions += len(encoded)
-        return EncryptedVector(payload=encoded, backend_name=self.name)
-
-    def encrypt_zero_vector(self, length: int) -> EncryptedVector:
-        self.counter.encryptions += length
-        return EncryptedVector(payload=(0,) * length, backend_name=self.name)
-
-    def add(self, first: EncryptedVector, second: EncryptedVector) -> EncryptedVector:
-        self._check_vector(first)
-        self._check_vector(second)
-        if len(first) != len(second):
-            raise CryptoError(f"vector lengths differ: {len(first)} vs {len(second)}")
+    def _add_payloads(
+        self, first: Sequence[int], second: Sequence[int]
+    ) -> tuple[int, ...]:
         modulus = self.codec.modulus
-        summed = tuple((a + b) % modulus for a, b in zip(first.payload, second.payload))
-        self.counter.additions += len(summed)
-        return EncryptedVector(payload=summed, backend_name=self.name)
+        if modulus.bit_length() <= 62:
+            a = np.fromiter(first, dtype=np.int64, count=len(first))
+            b = np.fromiter(second, dtype=np.int64, count=len(second))
+            return tuple(int(value) for value in (a + b) % modulus)
+        a = np.array(first, dtype=object)
+        b = np.array(second, dtype=object)
+        return tuple(int(value) for value in (a + b) % modulus)
 
-    def multiply_scalar(self, vector: EncryptedVector, factor: int) -> EncryptedVector:
-        self._check_vector(vector)
-        if factor < 0:
-            raise CryptoError("scalar factors must be non-negative integers")
+    def _multiply_payload(self, payload: Sequence[int], factor: int) -> tuple[int, ...]:
         modulus = self.codec.modulus
-        scaled = tuple((value * factor) % modulus for value in vector.payload)
-        self.counter.additions += len(scaled)
-        return EncryptedVector(payload=scaled, backend_name=self.name)
+        if modulus.bit_length() + factor.bit_length() <= 62:
+            a = np.fromiter(payload, dtype=np.int64, count=len(payload))
+            return tuple(int(value) for value in (a * factor) % modulus)
+        a = np.array(payload, dtype=object)
+        return tuple(int(value) for value in (a * factor) % modulus)
 
-    def partial_decrypt_vector(
-        self, share_index: int, vector: EncryptedVector
-    ) -> PartialVectorDecryption:
-        self._check_vector(vector)
+    def _partial_decrypt_payload(
+        self, share_index: int, payload: Sequence[int]
+    ) -> tuple[int, ...]:
         if not 1 <= share_index <= self.n_shares:
             raise ThresholdError(f"no key share with index {share_index}")
-        self.counter.partial_decryptions += len(vector)
-        return PartialVectorDecryption(
-            share_index=share_index, payload=vector.payload, backend_name=self.name
-        )
+        return tuple(payload)
 
-    def combine_vector(
-        self, partials: Sequence[PartialVectorDecryption], integer: bool = False
-    ) -> np.ndarray:
-        if not partials:
-            raise ThresholdError("no partial decryptions supplied")
+    def _combine_payloads(self, partials: Sequence[PartialVectorDecryption]) -> list[int]:
         distinct = {partial.share_index for partial in partials}
         if len(distinct) < self.threshold:
             raise ThresholdError(
@@ -394,13 +581,28 @@ class PlainBackend(CipherBackend):
         payloads = {partial.payload for partial in partials}
         if len(payloads) != 1:
             raise ThresholdError("partial decryptions disagree; vectors were not identical")
-        payload = payloads.pop()
-        self.counter.combinations += len(payload)
-        if integer:
-            return np.array(
-                [float(self.codec.decode_integer(value)) for value in payload], dtype=float
-            )
-        return self.codec.decode_vector(payload)
+        return list(payloads.pop())
+
+
+def _plan_packing(
+    packing: int | str,
+    modulus: int,
+    scale: int,
+    value_bound: float,
+    weight_bits: int,
+) -> PackedCodec | None:
+    """Resolve a packing knob into a :class:`PackedCodec` (or None for off).
+
+    Falls back to ``None`` (unpacked) when the plaintext space cannot fit at
+    least two slots of the requested layout.
+    """
+    packing = normalize_packing(packing)
+    if packing == "off":
+        return None
+    slots = None if packing == "auto" else int(packing)
+    return PackedCodec.plan(
+        modulus, scale, value_bound=value_bound, weight_bits=weight_bits, slots=slots
+    )
 
 
 def make_backend(
@@ -410,11 +612,21 @@ def make_backend(
     threshold: int = 3,
     n_shares: int = 8,
     encoding_scale: int = 10**6,
+    packing: int | str = "off",
+    packing_value_bound: float = 1.0,
+    packing_weight_bits: int = DEFAULT_WEIGHT_BITS,
 ) -> CipherBackend:
     """Factory mapping a configuration string to a backend instance.
 
     ``"paillier"`` is the degree-1 Damgård–Jurik scheme (they coincide), kept
     as a separate name for clarity in configurations.
+
+    ``packing`` is ``"off"`` (one ciphertext per coordinate, the historical
+    layout), ``"auto"`` (as many slots per ciphertext as the plaintext space
+    supports) or a positive slot count.  ``packing_value_bound`` is the
+    largest magnitude one fresh slot must hold (inflate it to cover noise
+    shares); ``packing_weight_bits`` is the per-slot headroom for gossip
+    halvings.
     """
     if backend == "damgard_jurik":
         return DamgardJurikBackend(
@@ -423,6 +635,9 @@ def make_backend(
             threshold=threshold,
             n_shares=n_shares,
             encoding_scale=encoding_scale,
+            packing=packing,
+            packing_value_bound=packing_value_bound,
+            packing_weight_bits=packing_weight_bits,
         )
     if backend == "paillier":
         return DamgardJurikBackend(
@@ -431,9 +646,14 @@ def make_backend(
             threshold=threshold,
             n_shares=n_shares,
             encoding_scale=encoding_scale,
+            packing=packing,
+            packing_value_bound=packing_value_bound,
+            packing_weight_bits=packing_weight_bits,
         )
     if backend == "plain":
         return PlainBackend(
-            threshold=threshold, n_shares=n_shares, encoding_scale=encoding_scale
+            threshold=threshold, n_shares=n_shares, encoding_scale=encoding_scale,
+            packing=packing, packing_value_bound=packing_value_bound,
+            packing_weight_bits=packing_weight_bits,
         )
     raise ValidationError(f"unknown backend {backend!r}")

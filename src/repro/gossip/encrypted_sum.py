@@ -19,6 +19,14 @@ The plaintext magnitude grows by at most one bit per halving, so the key only
 needs ``log2(scale * value_bound) + total_halvings`` bits of headroom; the
 :func:`required_headroom_bits` helper lets callers check this against the
 configured key size before running.
+
+With a slot-packed backend the same reasoning applies *per slot*: every lift
+multiplies each slot (and the public weight) by the same power of two, every
+addition sums slots position-wise, so the halving budget must fit one slot's
+headroom instead of the whole plaintext.  :func:`check_headroom` asks the
+backend for its per-coordinate capacity
+(:attr:`~repro.crypto.backends.CipherBackend.plaintext_capacity_bits`), which
+is the slot width when packing is enabled and the plaintext width otherwise.
 """
 
 from __future__ import annotations
@@ -118,8 +126,13 @@ def decode_estimate(backend: CipherBackend, estimate: EncryptedEstimate,
 
 
 def estimate_payload_bytes(backend: CipherBackend, estimate: EncryptedEstimate) -> int:
-    """Serialised size of an estimate (ciphertexts plus the public exponent)."""
-    return (backend.ciphertext_bits // 8) * len(estimate) + 8
+    """Serialised size of an estimate (ciphertexts plus the public exponent).
+
+    Charges for the ciphertexts actually carried: with a packed backend that
+    is ``ceil(length / slots)`` ciphertexts, which is where the bandwidth
+    saving of packing shows up in the cost accounting.
+    """
+    return (backend.ciphertext_bits // 8) * estimate.vector.n_ciphertexts + 8
 
 
 def required_headroom_bits(value_bound: float, scale: int, total_halvings: int) -> int:
@@ -131,13 +144,19 @@ def required_headroom_bits(value_bound: float, scale: int, total_halvings: int) 
 
 
 def check_headroom(backend: CipherBackend, value_bound: float, total_halvings: int) -> None:
-    """Raise :class:`GossipError` when the backend's plaintext space is too small."""
+    """Raise :class:`GossipError` when the backend's plaintext space is too small.
+
+    For packed backends the capacity is one slot's width, so the check also
+    guards against a packing layout whose per-slot headroom cannot absorb the
+    configured number of gossip halvings.
+    """
     needed = required_headroom_bits(value_bound, backend.codec.scale, total_halvings)
-    available = backend.codec.modulus.bit_length() - 1
+    available = backend.plaintext_capacity_bits
     if needed >= available:
         raise GossipError(
             f"plaintext space too small for encrypted gossip: need {needed} bits, "
-            f"have {available}; use a larger key or fewer gossip cycles"
+            f"have {available}; use a larger key, fewer gossip cycles, or a wider "
+            "packing layout"
         )
 
 

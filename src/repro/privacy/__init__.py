@@ -15,6 +15,7 @@ from .noise_shares import (
     effective_scale_with_dropouts,
     reconstructed_variance,
     share_variance,
+    slot_magnitude_bound,
     sum_of_shares,
 )
 from .probabilistic import (
@@ -45,6 +46,7 @@ __all__ = [
     "share_variance",
     "reconstructed_variance",
     "effective_scale_with_dropouts",
+    "slot_magnitude_bound",
     "PrivacyAccountant",
     "BudgetSpend",
     "compose_sequential",

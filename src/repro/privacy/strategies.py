@@ -55,6 +55,16 @@ class BudgetStrategy(ABC):
             strategy uses it.
         """
 
+    @abstractmethod
+    def minimum_iteration_epsilon(self) -> float:
+        """Smallest *positive* budget the strategy can ever grant.
+
+        Every strategy returns either 0 (stop: budget exhausted) or at least
+        this much, whatever the runtime spending pattern.  The packed cipher
+        layer sizes its slots from the worst-case Laplace scale, i.e. from
+        this bound, so the guarantee must hold unconditionally.
+        """
+
     def _check_iteration(self, iteration: int) -> None:
         if not 0 <= iteration < self.max_iterations:
             raise PrivacyError(
@@ -87,6 +97,11 @@ class UniformBudgetStrategy(BudgetStrategy):
         share = self.total_epsilon / self.max_iterations
         return float(min(share, max(remaining_epsilon, 0.0)))
 
+    def minimum_iteration_epsilon(self) -> float:
+        # Iterations only ever spend full shares, so the remainder can never
+        # fall strictly between 0 and one share (up to float dust).
+        return 0.5 * self.total_epsilon / self.max_iterations
+
 
 class GeometricBudgetStrategy(BudgetStrategy):
     """Per-iteration budgets follow a geometric progression.
@@ -114,6 +129,10 @@ class GeometricBudgetStrategy(BudgetStrategy):
         share = float(self.total_epsilon * self._weights()[iteration])
         return float(min(share, max(remaining_epsilon, 0.0)))
 
+    def minimum_iteration_epsilon(self) -> float:
+        # Same invariant as the uniform strategy, with the smallest weight.
+        return 0.5 * float(self.total_epsilon * self._weights().min())
+
 
 class AdaptiveBudgetStrategy(BudgetStrategy):
     """Re-plans the remaining budget from the observed convergence progress.
@@ -137,6 +156,14 @@ class AdaptiveBudgetStrategy(BudgetStrategy):
     def epsilon_for_iteration(self, iteration: int, remaining_epsilon: float,
                               progress: float | None = None) -> float:
         self._check_iteration(iteration)
+        remaining = max(remaining_epsilon, 0.0)
+        floor = self.minimum_fraction * self.total_epsilon / self.max_iterations
+        if remaining < floor:
+            # Dust budget: a sub-floor grant would buy one iteration of
+            # astronomically-scaled (useless) noise — and would break the
+            # minimum_iteration_epsilon() guarantee the packed cipher layer
+            # sizes its slots from.  Declare the budget exhausted instead.
+            return 0.0
         remaining_iterations = self.max_iterations - iteration
         if progress is not None:
             progress = float(np.clip(progress, 0.0, 1.0))
@@ -144,9 +171,11 @@ class AdaptiveBudgetStrategy(BudgetStrategy):
             expected = max(1, min(remaining_iterations, expected))
         else:
             expected = remaining_iterations
-        share = max(remaining_epsilon, 0.0) / expected
-        floor = self.minimum_fraction * self.total_epsilon / self.max_iterations
-        return float(min(max(share, min(floor, remaining_epsilon)), max(remaining_epsilon, 0.0)))
+        share = remaining / expected
+        return float(min(max(share, floor), remaining))
+
+    def minimum_iteration_epsilon(self) -> float:
+        return self.minimum_fraction * self.total_epsilon / self.max_iterations
 
 
 def make_budget_strategy(

@@ -90,6 +90,36 @@ class TestAdaptive:
         with pytest.raises(PrivacyError):
             AdaptiveBudgetStrategy(1.0, 10, minimum_fraction=0.0)
 
+    def test_dust_budget_is_declared_exhausted(self):
+        """A remainder below the floor yields 0, never a sub-floor grant.
+
+        A positive grant below the floor would buy one iteration of uselessly
+        large noise — and would violate the minimum_iteration_epsilon() bound
+        the packed cipher layer sizes its slots from.
+        """
+        strategy = AdaptiveBudgetStrategy(1.0, 10)  # floor = 0.025
+        assert strategy.epsilon_for_iteration(5, 0.01, progress=1.0) == 0.0
+        assert strategy.epsilon_for_iteration(9, 1e-9) == 0.0
+
+
+class TestMinimumIterationEpsilon:
+    @pytest.mark.parametrize("name", ["uniform", "geometric", "adaptive"])
+    def test_grants_are_zero_or_at_least_the_minimum(self, name):
+        """Simulated spending never produces a positive grant below the bound."""
+        strategy = make_budget_strategy(name, 1.0, 8)
+        minimum = strategy.minimum_iteration_epsilon()
+        assert minimum > 0.0
+        rng = np.random.default_rng(1)
+        for trial in range(200):
+            iteration = int(rng.integers(0, 8))
+            remaining = float(rng.uniform(0.0, 1.0)) * float(rng.choice([1.0, 1e-3, 1e-9]))
+            epsilon = strategy.epsilon_for_iteration(
+                iteration, remaining, progress=float(rng.uniform())
+            )
+            assert epsilon == 0.0 or epsilon >= min(minimum, remaining) * (1 - 1e-12)
+            if name == "adaptive":
+                assert epsilon == 0.0 or epsilon >= minimum
+
 
 class TestFactoryAndInvariants:
     @pytest.mark.parametrize("name", ["uniform", "geometric", "adaptive"])

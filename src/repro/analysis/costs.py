@@ -23,6 +23,7 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..crypto import damgard_jurik as dj
+from ..crypto.fastmath import BlinderPool, PrecomputedKey, normalize_fastmath
 from ..crypto.threshold import (
     combine_partial_decryptions,
     generate_threshold_keypair,
@@ -33,7 +34,14 @@ from ..exceptions import AnalysisError
 
 @dataclass(frozen=True)
 class CryptoCostProfile:
-    """Measured average time (seconds) of each cryptographic operation."""
+    """Measured average time (seconds) of each cryptographic operation.
+
+    ``pooled_encryption_seconds`` is the hot-path cost of an encryption
+    served by the amortized blinder pool (one multiplication; the
+    exponentiation happened in idle time) — 0.0 when the profile was
+    measured with ``fastmath="off"``.  The :class:`CostModel` uses it to
+    charge amortized and fresh exponentiations differently.
+    """
 
     key_bits: int
     degree: int
@@ -43,6 +51,8 @@ class CryptoCostProfile:
     partial_decryption_seconds: float
     combination_seconds: float
     ciphertext_bytes: int
+    fastmath: str = "off"
+    pooled_encryption_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         """Plain dictionary view (for reports)."""
@@ -55,6 +65,7 @@ class CryptoCostProfile:
             "partial_decryption_seconds": self.partial_decryption_seconds,
             "combination_seconds": self.combination_seconds,
             "ciphertext_bytes": float(self.ciphertext_bytes),
+            "pooled_encryption_seconds": self.pooled_encryption_seconds,
         }
 
 
@@ -64,26 +75,51 @@ def measure_crypto_costs(
     threshold: int = 3,
     n_shares: int = 5,
     repetitions: int = 5,
+    fastmath: str = "off",
 ) -> CryptoCostProfile:
     """Time the Damgård–Jurik operations with a real key of the given size.
 
     The measurements are averages over *repetitions* operations; they are the
     per-operation constants the cost model extrapolates from (exactly the
-    demo's own methodology).
+    demo's own methodology).  With ``fastmath="auto"`` the profile uses only
+    the accelerations a *real participant* could run — public per-key caches,
+    the idle-time blinder pool (whose amortized hot-path cost is reported in
+    ``pooled_encryption_seconds``) and multi-exponentiation share
+    combination.  The private CRT context is deliberately NOT used here:
+    share holders only know the public modulus, so charging them CRT-speed
+    partial decryptions would understate the per-device cost the model
+    exists to predict (the simulation backend may use CRT internally, but
+    that is a wall-clock shortcut, not a device-cost claim).
     """
     check_positive_int(repetitions, "repetitions")
+    fastmath = normalize_fastmath(fastmath)
     start = time.perf_counter()
     public, shares, _private = generate_threshold_keypair(
         key_bits=key_bits, s=degree, threshold=threshold, n_shares=n_shares
     )
     keygen_seconds = time.perf_counter() - start
+    use_fastmath = fastmath != "off"
+    precomputed = (
+        PrecomputedKey.from_public_key(public.public_key) if use_fastmath else None
+    )
     plaintext_modulus = public.public_key.plaintext_modulus
     rng = np.random.default_rng(0)
     plaintexts = [int(rng.integers(0, min(plaintext_modulus, 2**62))) for _ in range(repetitions)]
 
     start = time.perf_counter()
-    ciphertexts = [dj.encrypt(public.public_key, value) for value in plaintexts]
+    ciphertexts = [
+        dj.encrypt(public.public_key, value, precomputed=precomputed) for value in plaintexts
+    ]
     encryption_seconds = (time.perf_counter() - start) / repetitions
+
+    pooled_encryption_seconds = 0.0
+    if use_fastmath:
+        pool = BlinderPool(precomputed, batch_size=repetitions)
+        pool.refill(repetitions)  # amortized: filled outside the hot path
+        start = time.perf_counter()
+        for value in plaintexts:
+            dj.encrypt(public.public_key, value, precomputed=precomputed, pool=pool)
+        pooled_encryption_seconds = (time.perf_counter() - start) / repetitions
 
     start = time.perf_counter()
     for first, second in zip(ciphertexts, ciphertexts[1:] + ciphertexts[:1]):
@@ -92,17 +128,21 @@ def measure_crypto_costs(
 
     start = time.perf_counter()
     partials = [
-        partial_decrypt(public, shares[0], ciphertext) for ciphertext in ciphertexts
+        partial_decrypt(public, shares[0], ciphertext, precomputed=precomputed)
+        for ciphertext in ciphertexts
     ]
     partial_decryption_seconds = (time.perf_counter() - start) / repetitions
 
     all_partials = [
-        [partial_decrypt(public, share, ciphertext) for share in shares[:threshold]]
+        [
+            partial_decrypt(public, share, ciphertext, precomputed=precomputed)
+            for share in shares[:threshold]
+        ]
         for ciphertext in ciphertexts
     ]
     start = time.perf_counter()
     for partial_set in all_partials:
-        combine_partial_decryptions(public, partial_set)
+        combine_partial_decryptions(public, partial_set, multiexp=use_fastmath)
     combination_seconds = (time.perf_counter() - start) / repetitions
     del partials
 
@@ -115,6 +155,8 @@ def measure_crypto_costs(
         partial_decryption_seconds=partial_decryption_seconds,
         combination_seconds=combination_seconds,
         ciphertext_bytes=public.public_key.ciphertext_bits // 8,
+        fastmath=fastmath,
+        pooled_encryption_seconds=pooled_encryption_seconds,
     )
 
 
@@ -132,6 +174,11 @@ class ProtocolWorkload:
     travels as ``ceil((T+1) / slots)`` ciphertexts instead of ``T+1``, and
     every per-ciphertext charge — encryptions, homomorphic additions,
     partial decryptions, combinations, bytes — shrinks accordingly.
+
+    ``amortized_encryptions`` marks a deployment that precomputes its
+    encryption blinders in idle time (the fastmath pool): the cost model
+    then charges the pooled hot-path cost per encryption instead of the
+    fresh-exponentiation cost.
     """
 
     n_clusters: int
@@ -141,6 +188,7 @@ class ProtocolWorkload:
     exchanges_per_cycle: int
     threshold: int
     slots: int = 1
+    amortized_encryptions: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_clusters, "n_clusters")
@@ -234,8 +282,11 @@ class CostModel:
         how many devices participate overall.
         """
         iterations = workload.iterations
+        encryption_seconds = self.profile.encryption_seconds
+        if workload.amortized_encryptions and self.profile.pooled_encryption_seconds > 0:
+            encryption_seconds = self.profile.pooled_encryption_seconds
         encryption = (
-            workload.encryptions_per_iteration * iterations * self.profile.encryption_seconds
+            workload.encryptions_per_iteration * iterations * encryption_seconds
         )
         addition = (
             workload.additions_per_iteration * iterations * self.profile.addition_seconds

@@ -62,7 +62,8 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
                  "budget_strategy": args.budget_strategy},
         gossip={"cycles_per_aggregation": args.gossip_cycles},
         smoothing={"method": args.smoothing},
-        crypto={"backend": args.backend, "packing": normalize_packing(args.packing)},
+        crypto={"backend": args.backend, "packing": normalize_packing(args.packing),
+                "fastmath": args.fastmath},
         simulation={"n_participants": args.participants, "seed": args.seed},
     )
 
@@ -88,6 +89,9 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                         help="cipher backend (plain = demo mode with simulated crypto)")
     parser.add_argument("--packing", default="auto",
                         help="ciphertext slot packing: auto, off, or a slot count")
+    parser.add_argument("--fastmath", default="auto", choices=["auto", "off"],
+                        help="modular-arithmetic fast path (CRT, pools, multi-exp); "
+                             "off reproduces the seed arithmetic bit for bit")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -137,11 +141,13 @@ def _command_crypto_bench(args: argparse.Namespace) -> int:
     profile = measure_crypto_costs(
         key_bits=args.key_bits, degree=args.degree, threshold=args.threshold,
         n_shares=max(args.threshold, args.threshold + 2), repetitions=args.repetitions,
+        fastmath=args.fastmath,
     )
     workload = ProtocolWorkload(
         n_clusters=args.clusters, series_length=args.series_length,
         iterations=args.iterations, gossip_cycles=args.gossip_cycles,
         exchanges_per_cycle=1, threshold=args.threshold, slots=args.slots,
+        amortized_encryptions=args.fastmath != "off",
     )
     rows = CostModel(profile).sweep_population(workload, args.populations)
     if args.json:
@@ -181,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     crypto_parser.add_argument("--gossip-cycles", type=int, default=12)
     crypto_parser.add_argument("--slots", type=int, default=1,
                                help="ciphertext slots per plaintext charged by the model")
+    crypto_parser.add_argument("--fastmath", default="off", choices=["auto", "off"],
+                               help="measure with the modular-arithmetic fast path "
+                                    "(CRT, amortized pools, multi-exp)")
     crypto_parser.add_argument("--populations", type=int, nargs="+",
                                default=[10**3, 10**6])
     crypto_parser.add_argument("--json", action="store_true")

@@ -22,6 +22,7 @@ from ._validation import (
     check_probability,
 )
 from .crypto.backends import normalize_packing
+from .crypto.fastmath import normalize_fastmath
 from .exceptions import ConfigurationError, ValidationError
 
 #: Budget-distribution strategies shipped with the library (Section II.B,
@@ -162,6 +163,12 @@ class CryptoConfig:
         slot count.  Packing divides the number of bigint encryptions,
         homomorphic operations and ciphertext bytes per vector by roughly
         the slot count.
+    fastmath:
+        Modular-arithmetic fast path: ``"auto"`` (default) enables CRT
+        private-key operations, amortized blinder pools and
+        multi-exponentiation in the real backends — the same integers,
+        several times faster; ``"off"`` reproduces the seed arithmetic bit
+        for bit given the same randomness stream.
     """
 
     backend: str = "plain"
@@ -171,6 +178,7 @@ class CryptoConfig:
     n_key_shares: int = 8
     encoding_scale: int = 10**6
     packing: int | str = "auto"
+    fastmath: str = "auto"
 
     def __post_init__(self) -> None:
         check_in_choices(self.backend, CRYPTO_BACKENDS, "backend")
@@ -187,6 +195,7 @@ class CryptoConfig:
             )
         try:
             normalize_packing(self.packing)
+            normalize_fastmath(self.fastmath)
         except ValidationError as exc:
             raise ConfigurationError(str(exc)) from exc
 

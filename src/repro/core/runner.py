@@ -248,7 +248,25 @@ def run_chiaroscuro(
         packing=config.crypto.packing,
         packing_value_bound=_packed_slot_bound(config, series_length, value_bound),
         packing_weight_bits=packed_halving_budget,
+        fastmath=config.crypto.fastmath,
     )
+    if hasattr(backend, "configure_pool"):
+        # Size the amortized blinder pool from the cost model's per-round
+        # encryption demand (deferred import: repro.analysis imports this
+        # module back for the quality comparisons).
+        from ..analysis.costs import ProtocolWorkload
+
+        demand = ProtocolWorkload(
+            n_clusters=config.kmeans.n_clusters,
+            series_length=series_length,
+            iterations=config.kmeans.max_iterations,
+            gossip_cycles=config.gossip.cycles_per_aggregation,
+            exchanges_per_cycle=config.gossip.exchanges_per_cycle,
+            threshold=config.crypto.threshold,
+            slots=backend.packing.slots if backend.packing is not None else 1,
+            amortized_encryptions=True,
+        )
+        backend.configure_pool(demand.encryptions_per_iteration)
     check_headroom(
         backend,
         value_bound=max(value_bound, 1.0),
@@ -306,6 +324,10 @@ def run_chiaroscuro(
         "slots": backend.packing.slots if backend.packing is not None else 1,
         "slot_bits": backend.packing.slot_bits if backend.packing is not None else 0,
     }
+    fastmath_info = {
+        "mode": getattr(backend, "fastmath", "off"),
+        "pooled": getattr(backend, "fastmath_enabled", False),
+    }
     log = ExecutionLog(metadata={
         "dataset": collection.name,
         "n_participants": n_participants,
@@ -314,6 +336,7 @@ def run_chiaroscuro(
         "normalization": transform,
         "tracked_participants": tracked_ids,
         "packing": packing_info,
+        "fastmath": fastmath_info,
     })
     observer = _RunObserver(
         participants, data, initial_centroids, tracked_ids, engine, backend, log
@@ -373,6 +396,7 @@ def run_chiaroscuro(
         "tracked_participants": tracked_ids,
         "dataset": collection.name,
         "packing": packing_info,
+        "fastmath": fastmath_info,
     }
     return ChiaroscuroResult(
         profiles=profiles,

@@ -19,6 +19,15 @@ from .damgard_jurik import (
     generate_keypair,
 )
 from .encoding import DEFAULT_WEIGHT_BITS, FixedPointCodec, PackedCodec
+from .fastmath import (
+    FASTMATH_CHOICES,
+    BlinderPool,
+    FixedBaseTable,
+    PrecomputedKey,
+    multi_pow,
+    normalize_fastmath,
+    plan_pool_batch,
+)
 from .math_utils import (
     crt_pair,
     generate_prime,
@@ -49,6 +58,13 @@ __all__ = [
     "OperationCounter",
     "make_backend",
     "normalize_packing",
+    "FASTMATH_CHOICES",
+    "BlinderPool",
+    "FixedBaseTable",
+    "PrecomputedKey",
+    "multi_pow",
+    "normalize_fastmath",
+    "plan_pool_batch",
     "DamgardJurikPublicKey",
     "DamgardJurikPrivateKey",
     "generate_keypair",

@@ -44,6 +44,14 @@ import numpy as np
 from ..exceptions import CryptoError, ThresholdError, ValidationError
 from . import damgard_jurik as dj
 from .encoding import DEFAULT_WEIGHT_BITS, FixedPointCodec, PackedCodec
+from .fastmath import (
+    FASTMATH_CHOICES,
+    BlinderPool,
+    PrecomputedKey,
+    multi_pow,
+    normalize_fastmath,
+    plan_pool_batch,
+)
 from .threshold import (
     KeyShare,
     PartialDecryption,
@@ -90,12 +98,20 @@ class OperationCounter:
     Counts are per *ciphertext*, not per logical coordinate: with packing
     enabled they genuinely shrink by the slot count, which is exactly what
     the cost model should charge for.
+
+    ``pooled_encryptions`` counts the subset of ``encryptions`` whose
+    blinder came from the amortized fastmath pool (one multiplication on
+    the hot path instead of one exponentiation) so the cost model can
+    charge amortized and fresh exponentiations differently;
+    ``rerandomizations`` counts ciphertext randomness refreshes.
     """
 
     encryptions: int = 0
     additions: int = 0
     partial_decryptions: int = 0
     combinations: int = 0
+    pooled_encryptions: int = 0
+    rerandomizations: int = 0
 
     def merge(self, other: "OperationCounter") -> "OperationCounter":
         """Return a new counter with the element-wise sums."""
@@ -104,6 +120,8 @@ class OperationCounter:
             additions=self.additions + other.additions,
             partial_decryptions=self.partial_decryptions + other.partial_decryptions,
             combinations=self.combinations + other.combinations,
+            pooled_encryptions=self.pooled_encryptions + other.pooled_encryptions,
+            rerandomizations=self.rerandomizations + other.rerandomizations,
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -113,6 +131,8 @@ class OperationCounter:
             "additions": self.additions,
             "partial_decryptions": self.partial_decryptions,
             "combinations": self.combinations,
+            "pooled_encryptions": self.pooled_encryptions,
+            "rerandomizations": self.rerandomizations,
         }
 
     def reset(self) -> None:
@@ -121,6 +141,8 @@ class OperationCounter:
         self.additions = 0
         self.partial_decryptions = 0
         self.combinations = 0
+        self.pooled_encryptions = 0
+        self.rerandomizations = 0
 
 
 @dataclass(frozen=True)
@@ -284,6 +306,31 @@ class CipherBackend(ABC):
     ) -> tuple[int, ...]:
         """Partially decrypt every ciphertext with one key share."""
 
+    def _rerandomize_payload(self, payload: Sequence[int]) -> tuple[int, ...]:
+        """Refresh the randomness of every ciphertext (identity by default).
+
+        Backends without semantic security (the plain simulation backend)
+        have nothing to refresh; real backends multiply by a fresh — or
+        pooled — encryption of zero.
+        """
+        return tuple(payload)
+
+    def _linear_combination_payloads(
+        self, payloads: Sequence[Sequence[int]], factors: Sequence[int]
+    ) -> tuple[int, ...]:
+        """Component-wise homomorphic weighted sum ``Σ factors[j] · payloads[j]``.
+
+        The default composes the scalar-multiply and add primitives exactly
+        as the historical gossip code path did; backends with a faster joint
+        evaluation (Straus multi-exponentiation) override this.
+        """
+        accumulated: Sequence[int] | None = None
+        for payload, factor in zip(payloads, factors):
+            scaled = payload if factor == 1 else self._multiply_payload(payload, factor)
+            accumulated = scaled if accumulated is None else self._add_payloads(accumulated, scaled)
+        assert accumulated is not None  # guarded by linear_combination()
+        return tuple(accumulated)
+
     @abstractmethod
     def _combine_payloads(self, partials: Sequence[PartialVectorDecryption]) -> list[int]:
         """Combine partial decryptions into the list of plaintext integers."""
@@ -352,6 +399,58 @@ class CipherBackend(ABC):
         self.counter.additions += len(scaled)
         return self._vector(scaled, len(vector), weight=weight)
 
+    def linear_combination(
+        self, vectors: Sequence[EncryptedVector], factors: Sequence[int]
+    ) -> EncryptedVector:
+        """Homomorphic weighted sum ``Σ factors[j] · vectors[j]`` in one pass.
+
+        This is the primitive behind gossip averaging: lifting two estimates
+        to a common fixed-point exponent and adding them is the linear
+        combination with power-of-two factors.  Operation counting matches
+        the equivalent multiply-then-add sequence (one addition-equivalent
+        per ciphertext per non-unit factor, plus one per ciphertext per
+        fold), so the cost model charges the same work either way; fast
+        backends may *evaluate* it jointly (Straus) without changing the
+        charge.
+        """
+        if not vectors:
+            raise CryptoError("linear_combination requires at least one vector")
+        if len(vectors) != len(factors):
+            raise CryptoError(
+                f"need one factor per vector, got {len(vectors)} vectors "
+                f"and {len(factors)} factors"
+            )
+        length = len(vectors[0])
+        for vector in vectors:
+            self._check_vector(vector)
+            if len(vector) != length:
+                raise CryptoError(f"vector lengths differ: {length} vs {len(vector)}")
+        factors = [int(factor) for factor in factors]
+        for factor in factors:
+            if factor < 1:
+                raise CryptoError("linear combination factors must be positive integers")
+        weight = sum(vector.weight * factor for vector, factor in zip(vectors, factors))
+        if self.packing is not None:
+            self.packing.check_weight(weight)
+        combined = self._linear_combination_payloads(
+            [vector.payload for vector in vectors], factors
+        )
+        lifts = sum(1 for factor in factors if factor != 1)
+        self.counter.additions += len(combined) * (lifts + len(vectors) - 1)
+        return self._vector(combined, length, weight=weight)
+
+    def rerandomize(self, vector: EncryptedVector) -> EncryptedVector:
+        """Refresh every ciphertext's randomness without changing the plaintexts.
+
+        With the fastmath blinder pool this costs one multiplication per
+        ciphertext, which makes per-hop re-randomisation of forwarded gossip
+        payloads affordable.
+        """
+        self._check_vector(vector)
+        payload = self._rerandomize_payload(vector.payload)
+        self.counter.rerandomizations += len(payload)
+        return self._vector(payload, len(vector), weight=vector.weight)
+
     def partial_decrypt_vector(
         self, share_index: int, vector: EncryptedVector
     ) -> PartialVectorDecryption:
@@ -405,7 +504,18 @@ class CipherBackend(ABC):
 
 
 class DamgardJurikBackend(CipherBackend):
-    """Backend performing real Damgård–Jurik threshold encryption."""
+    """Backend performing real Damgård–Jurik threshold encryption.
+
+    With ``fastmath="auto"`` (the default) the backend builds a
+    :class:`~repro.crypto.fastmath.PrecomputedKey` from the dealer key it
+    already holds (this is an in-process simulation: the dealer key is the
+    test oracle) and an amortized
+    :class:`~repro.crypto.fastmath.BlinderPool`, which together give CRT
+    private-key operations, pooled one-multiply encryption/rerandomisation
+    and Straus multi-exponentiation for share combination and homomorphic
+    weighted sums.  Every produced integer is identical to the
+    ``fastmath="off"`` path given the same randomness stream.
+    """
 
     name = "damgard_jurik"
 
@@ -419,6 +529,8 @@ class DamgardJurikBackend(CipherBackend):
         packing: int | str = "off",
         packing_value_bound: float = 1.0,
         packing_weight_bits: int = DEFAULT_WEIGHT_BITS,
+        fastmath: str = "auto",
+        pool_batch: int | None = None,
     ) -> None:
         public, shares, dealer_key = generate_threshold_keypair(
             key_bits=key_bits, s=degree, threshold=threshold, n_shares=n_shares
@@ -433,8 +545,19 @@ class DamgardJurikBackend(CipherBackend):
         self.threshold_public: ThresholdPublicKey = public
         self._shares: dict[int, KeyShare] = {share.index: share for share in shares}
         self._dealer_key = dealer_key
+        self.fastmath = normalize_fastmath(fastmath)
+        self._precomputed: PrecomputedKey | None = None
+        self._pool: BlinderPool | None = None
+        if self.fastmath_enabled:
+            self._precomputed = PrecomputedKey.from_private_key(dealer_key)
+            self._pool = BlinderPool(self._precomputed, batch_size=pool_batch or 32)
 
     # ------------------------------------------------------------------ properties
+    @property
+    def fastmath_enabled(self) -> bool:
+        """Whether the modular-arithmetic fast path is active."""
+        return self.fastmath != "off"
+
     @property
     def public_key(self) -> dj.DamgardJurikPublicKey:
         """The underlying Damgård–Jurik public key."""
@@ -451,9 +574,29 @@ class DamgardJurikBackend(CipherBackend):
         except KeyError as exc:
             raise ThresholdError(f"no key share with index {index}") from exc
 
+    def configure_pool(self, expected_per_round: int) -> None:
+        """Size and prefill the blinder pool from the cost model's demand.
+
+        *expected_per_round* is the number of hot-path encryptions the
+        protocol performs per round (see
+        :attr:`~repro.analysis.costs.ProtocolWorkload.encryptions_per_iteration`);
+        a no-op when fastmath is off.
+        """
+        if self._pool is None:
+            return
+        self._pool.batch_size = plan_pool_batch(expected_per_round)
+        if not len(self._pool):
+            self._pool.refill()
+
     # ------------------------------------------------------------------ primitives
     def _encrypt_plaintexts(self, plaintexts: Sequence[int]) -> tuple[int, ...]:
-        return tuple(dj.encrypt(self.public_key, value) for value in plaintexts)
+        if self._pool is not None:
+            self.counter.pooled_encryptions += len(plaintexts)
+        return tuple(
+            dj.encrypt(self.public_key, value,
+                       precomputed=self._precomputed, pool=self._pool)
+            for value in plaintexts
+        )
 
     def _add_payloads(
         self, first: Sequence[int], second: Sequence[int]
@@ -464,8 +607,26 @@ class DamgardJurikBackend(CipherBackend):
 
     def _multiply_payload(self, payload: Sequence[int], factor: int) -> tuple[int, ...]:
         return tuple(
-            dj.multiply_plaintext(self.public_key, ciphertext, factor)
+            dj.multiply_plaintext(self.public_key, ciphertext, factor,
+                                  precomputed=self._precomputed)
             for ciphertext in payload
+        )
+
+    def _rerandomize_payload(self, payload: Sequence[int]) -> tuple[int, ...]:
+        return tuple(
+            dj.rerandomize(self.public_key, ciphertext, pool=self._pool)
+            for ciphertext in payload
+        )
+
+    def _linear_combination_payloads(
+        self, payloads: Sequence[Sequence[int]], factors: Sequence[int]
+    ) -> tuple[int, ...]:
+        if not self.fastmath_enabled or len(payloads) == 1:
+            return super()._linear_combination_payloads(payloads, factors)
+        modulus = self.public_key.ciphertext_modulus
+        return tuple(
+            multi_pow([payload[component] for payload in payloads], factors, modulus)
+            for component in range(len(payloads[0]))
         )
 
     def _partial_decrypt_payload(
@@ -473,7 +634,8 @@ class DamgardJurikBackend(CipherBackend):
     ) -> tuple[int, ...]:
         share = self.share_for(share_index)
         return tuple(
-            partial_decrypt(self.threshold_public, share, ciphertext).value
+            partial_decrypt(self.threshold_public, share, ciphertext,
+                            precomputed=self._precomputed).value
             for ciphertext in payload
         )
 
@@ -485,7 +647,10 @@ class DamgardJurikBackend(CipherBackend):
                 for partial in partials
             ]
             plaintexts.append(
-                combine_partial_decryptions(self.threshold_public, component_partials)
+                combine_partial_decryptions(
+                    self.threshold_public, component_partials,
+                    multiexp=self.fastmath_enabled,
+                )
             )
         return plaintexts
 
@@ -525,6 +690,7 @@ class PlainBackend(CipherBackend):
         packing: int | str = "off",
         packing_value_bound: float = 1.0,
         packing_weight_bits: int = DEFAULT_WEIGHT_BITS,
+        fastmath: str = "auto",
     ) -> None:
         if normalize_packing(packing) != "off":
             modulus_bits = max(modulus_bits, simulated_ciphertext_bits // 2)
@@ -536,6 +702,9 @@ class PlainBackend(CipherBackend):
         super().__init__(codec=codec, threshold=threshold, n_shares=n_shares,
                          packed_codec=packed_codec)
         self._simulated_ciphertext_bits = simulated_ciphertext_bits
+        # The plain backend has no bigints to accelerate; the knob is kept
+        # (and validated) so configurations stay backend-portable.
+        self.fastmath = normalize_fastmath(fastmath)
 
     @property
     def ciphertext_bits(self) -> int:
@@ -615,6 +784,7 @@ def make_backend(
     packing: int | str = "off",
     packing_value_bound: float = 1.0,
     packing_weight_bits: int = DEFAULT_WEIGHT_BITS,
+    fastmath: str = "auto",
 ) -> CipherBackend:
     """Factory mapping a configuration string to a backend instance.
 
@@ -627,6 +797,11 @@ def make_backend(
     largest magnitude one fresh slot must hold (inflate it to cover noise
     shares); ``packing_weight_bits`` is the per-slot headroom for gossip
     halvings.
+
+    ``fastmath`` is ``"auto"`` (CRT private-key operations, amortized
+    blinder pools, multi-exponentiation — same integers, less time) or
+    ``"off"`` (the seed's arithmetic, bit for bit given the same randomness
+    stream).
     """
     if backend == "damgard_jurik":
         return DamgardJurikBackend(
@@ -638,6 +813,7 @@ def make_backend(
             packing=packing,
             packing_value_bound=packing_value_bound,
             packing_weight_bits=packing_weight_bits,
+            fastmath=fastmath,
         )
     if backend == "paillier":
         return DamgardJurikBackend(
@@ -649,11 +825,12 @@ def make_backend(
             packing=packing,
             packing_value_bound=packing_value_bound,
             packing_weight_bits=packing_weight_bits,
+            fastmath=fastmath,
         )
     if backend == "plain":
         return PlainBackend(
             threshold=threshold, n_shares=n_shares, encoding_scale=encoding_scale,
             packing=packing, packing_value_bound=packing_value_bound,
-            packing_weight_bits=packing_weight_bits,
+            packing_weight_bits=packing_weight_bits, fastmath=fastmath,
         )
     raise ValidationError(f"unknown backend {backend!r}")

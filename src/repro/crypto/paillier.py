@@ -20,8 +20,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from functools import lru_cache
+
 from ..exceptions import DecryptionError, EncryptionError, KeyGenerationError
-from .math_utils import generate_distinct_primes, lcm, mod_inverse, random_coprime
+from .math_utils import crt_pair, generate_distinct_primes, lcm, mod_inverse, random_coprime
 
 
 @dataclass(frozen=True)
@@ -48,11 +50,18 @@ class PaillierPublicKey:
 
 @dataclass(frozen=True)
 class PaillierPrivateKey:
-    """Private key: λ = lcm(p-1, q-1) and μ = λ^{-1} mod n."""
+    """Private key: λ = lcm(p-1, q-1) and μ = λ^{-1} mod n.
+
+    The primes are kept (``0`` for legacy key material) so decryption can
+    take the CRT fast path; :func:`decrypt` falls back to the classic
+    full-width ``c^λ mod n²`` when they are absent.
+    """
 
     public_key: PaillierPublicKey
     lam: int
     mu: int
+    p: int = 0
+    q: int = 0
 
 
 def generate_paillier_keypair(key_bits: int = 2048) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
@@ -68,7 +77,7 @@ def generate_paillier_keypair(key_bits: int = 2048) -> tuple[PaillierPublicKey, 
             continue  # rare for random primes; retry to keep decryption valid
         public = PaillierPublicKey(n)
         mu = mod_inverse(lam, n)
-        return public, PaillierPrivateKey(public, lam, mu)
+        return public, PaillierPrivateKey(public, lam, mu, p=p, q=q)
     raise KeyGenerationError("could not generate a valid Paillier key pair")
 
 
@@ -87,14 +96,45 @@ def encrypt(public_key: PaillierPublicKey, plaintext: int, randomness: int | Non
     return (g_to_m * pow(randomness, n, n_squared)) % n_squared
 
 
-def decrypt(private_key: PaillierPrivateKey, ciphertext: int) -> int:
-    """Decrypt *ciphertext* with *private_key* and return the plaintext in Z_n."""
+def _crt_half_decrypt(ciphertext: int, prime: int, n: int) -> int:
+    """Message residue mod *prime*: ``L_p(c^{p-1} mod p²) · h_p mod p``.
+
+    Exponent ``p-1`` annihilates the ``r^n`` randomness mod p² outright, so
+    the half-size exponent and half-width modulus recover the same residue
+    the full ``c^λ`` decryption would — the classic Paillier CRT split.
+    """
+    prime_squared = prime * prime
+    u = pow(ciphertext % prime_squared, prime - 1, prime_squared)
+    l_value = (u - 1) // prime
+    return (l_value * _crt_constant(prime, n)) % prime
+
+
+@lru_cache(maxsize=64)
+def _crt_constant(prime: int, n: int) -> int:
+    """``h_p = L_p((1+n)^{p-1} mod p²)^{-1} mod p``, fixed per key half."""
+    prime_squared = prime * prime
+    return mod_inverse((pow(1 + n, prime - 1, prime_squared) - 1) // prime, prime)
+
+
+def decrypt(private_key: PaillierPrivateKey, ciphertext: int, crt: bool = True) -> int:
+    """Decrypt *ciphertext* with *private_key* and return the plaintext in Z_n.
+
+    When the private key carries its primes (every freshly generated key
+    does) the decryption runs mod p² and q² with exponents p-1 / q-1 and
+    recombines — ~3–4× faster than ``c^λ mod n²`` for the same plaintext.
+    Pass ``crt=False`` to force the classic full-width path.
+    """
     public = private_key.public_key
     n, n_squared = public.n, public.n_squared
     if not 0 <= ciphertext < n_squared:
         raise DecryptionError(f"ciphertext must be in [0, n^2), got {ciphertext}")
     if math.gcd(ciphertext, n_squared) != 1:
         raise DecryptionError("ciphertext is not invertible modulo n^2")
+    if crt and private_key.p and private_key.q:
+        p, q = private_key.p, private_key.q
+        m_p = _crt_half_decrypt(ciphertext, p, n)
+        m_q = _crt_half_decrypt(ciphertext, q, n)
+        return crt_pair(m_p, p, m_q, q)
     u = pow(ciphertext, private_key.lam, n_squared)
     l_value = (u - 1) // n
     return (l_value * private_key.mu) % n

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from typing import TYPE_CHECKING
+
 from ..exceptions import DecryptionError, KeyGenerationError, ThresholdError
 from .damgard_jurik import (
     DamgardJurikPrivateKey,
@@ -32,7 +34,11 @@ from .damgard_jurik import (
     dlog_one_plus_n,
     generate_keypair,
 )
+from .fastmath import multi_pow
 from .math_utils import crt_pair, mod_inverse, random_below
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .fastmath import PrecomputedKey
 
 
 @dataclass(frozen=True)
@@ -135,15 +141,30 @@ def generate_threshold_keypair(
 
 
 def partial_decrypt(
-    threshold_public: ThresholdPublicKey, share: KeyShare, ciphertext: int
+    threshold_public: ThresholdPublicKey,
+    share: KeyShare,
+    ciphertext: int,
+    precomputed: "PrecomputedKey | None" = None,
 ) -> PartialDecryption:
-    """Compute the partial decryption of *ciphertext* with one key share."""
+    """Compute the partial decryption of *ciphertext* with one key share.
+
+    A real share holder only knows the public modulus and computes the full
+    ``c^{2Δs_i} mod n^{s+1}``.  The in-process simulation, which holds the
+    dealer key anyway, may pass a private
+    :class:`~repro.crypto.fastmath.PrecomputedKey` to evaluate the same
+    power mod ``p^{s+1}`` / ``q^{s+1}`` with order-reduced exponents — the
+    produced partial decryption is the identical integer.
+    """
     public = threshold_public.public_key
     modulus = public.ciphertext_modulus
     if not 0 <= ciphertext < modulus:
         raise DecryptionError("ciphertext out of range")
     exponent = 2 * threshold_public.delta * share.value
-    return PartialDecryption(index=share.index, value=pow(ciphertext, exponent, modulus))
+    if precomputed is not None:
+        value = precomputed.crt_pow(ciphertext, exponent)
+    else:
+        value = pow(ciphertext, exponent, modulus)
+    return PartialDecryption(index=share.index, value=value)
 
 
 def _integer_lagrange_coefficient(
@@ -170,8 +191,14 @@ def _integer_lagrange_coefficient(
 def combine_partial_decryptions(
     threshold_public: ThresholdPublicKey,
     partials: Sequence[PartialDecryption] | Mapping[int, int],
+    multiexp: bool = True,
 ) -> int:
     """Combine at least *threshold* partial decryptions into the plaintext.
+
+    The Δ-scaled Lagrange accumulation ``Π cᵢ^{2λᵢΔ}`` is evaluated with
+    Straus simultaneous multi-exponentiation (one shared squaring chain for
+    all shares) unless *multiexp* is disabled, in which case the seed's
+    one-``pow``-per-share loop runs; both produce the same integer.
 
     Raises :class:`ThresholdError` when fewer than *threshold* distinct
     partial decryptions are supplied.
@@ -195,10 +222,15 @@ def combine_partial_decryptions(
     chosen = sorted(seen.values(), key=lambda entry: entry.index)[: threshold_public.threshold]
     indices = [entry.index for entry in chosen]
     delta = threshold_public.delta
-    combined = 1
-    for entry in chosen:
-        coefficient = 2 * _integer_lagrange_coefficient(delta, indices, entry.index)
-        combined = (combined * pow(entry.value, coefficient, modulus)) % modulus
+    coefficients = [
+        2 * _integer_lagrange_coefficient(delta, indices, entry.index) for entry in chosen
+    ]
+    if multiexp:
+        combined = multi_pow([entry.value for entry in chosen], coefficients, modulus)
+    else:
+        combined = 1
+        for entry, coefficient in zip(chosen, coefficients):
+            combined = (combined * pow(entry.value, coefficient, modulus)) % modulus
     # combined = c^{4 Δ² d} = (1 + n)^{4 Δ² m} mod n^{s+1}
     exponent = dlog_one_plus_n(public, combined)
     scaling = (4 * delta * delta) % public.plaintext_modulus

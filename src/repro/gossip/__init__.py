@@ -13,6 +13,7 @@ from .encrypted_sum import (
     fresh_estimate,
     lift_estimate,
     required_headroom_bits,
+    rerandomize_estimate,
     zero_estimate,
 )
 from .overlay import Overlay, build_overlay
@@ -39,6 +40,7 @@ __all__ = [
     "lift_estimate",
     "average_estimates",
     "add_estimates",
+    "rerandomize_estimate",
     "decode_estimate",
     "estimate_payload_bytes",
     "required_headroom_bits",

@@ -87,18 +87,33 @@ def lift_estimate(backend: CipherBackend, estimate: EncryptedEstimate,
     )
 
 
+def _lift_and_sum(backend: CipherBackend, first: EncryptedEstimate,
+                  second: EncryptedEstimate) -> tuple[int, "EncryptedVector"]:
+    """Common exponent and the homomorphic sum of both estimates lifted to it.
+
+    The lift-to-common-exponent-then-add sequence is a single homomorphic
+    linear combination with power-of-two factors, which the backend may
+    evaluate jointly (Straus multi-exponentiation shares one squaring chain
+    across both ciphertexts) while charging exactly the operations the
+    historical multiply-then-add path charged.
+    """
+    if len(first) != len(second):
+        raise GossipError(f"estimate lengths differ: {len(first)} vs {len(second)}")
+    common = max(first.halvings, second.halvings)
+    summed = backend.linear_combination(
+        [first.vector, second.vector],
+        [1 << (common - first.halvings), 1 << (common - second.halvings)],
+    )
+    return common, summed
+
+
 def average_estimates(backend: CipherBackend, first: EncryptedEstimate,
                       second: EncryptedEstimate) -> EncryptedEstimate:
     """Homomorphic pairwise average of two estimates.
 
     The result represents (value(first) + value(second)) / 2.
     """
-    if len(first) != len(second):
-        raise GossipError(f"estimate lengths differ: {len(first)} vs {len(second)}")
-    common = max(first.halvings, second.halvings)
-    lifted_first = lift_estimate(backend, first, common)
-    lifted_second = lift_estimate(backend, second, common)
-    summed = backend.add(lifted_first.vector, lifted_second.vector)
+    common, summed = _lift_and_sum(backend, first, second)
     return EncryptedEstimate(vector=summed, halvings=common + 1)
 
 
@@ -109,13 +124,21 @@ def add_estimates(backend: CipherBackend, first: EncryptedEstimate,
     Used by the protocol's "local addition of the encrypted noises to the
     encrypted means" step.
     """
-    if len(first) != len(second):
-        raise GossipError(f"estimate lengths differ: {len(first)} vs {len(second)}")
-    common = max(first.halvings, second.halvings)
-    lifted_first = lift_estimate(backend, first, common)
-    lifted_second = lift_estimate(backend, second, common)
-    summed = backend.add(lifted_first.vector, lifted_second.vector)
+    common, summed = _lift_and_sum(backend, first, second)
     return EncryptedEstimate(vector=summed, halvings=common)
+
+
+def rerandomize_estimate(backend: CipherBackend,
+                         estimate: EncryptedEstimate) -> EncryptedEstimate:
+    """Refresh the ciphertext randomness of an estimate (same value, exponent).
+
+    With the fastmath blinder pool this costs one bigint multiplication per
+    ciphertext, making per-hop re-randomisation of forwarded estimates
+    affordable for unlinkability-sensitive deployments.
+    """
+    return EncryptedEstimate(
+        vector=backend.rerandomize(estimate.vector), halvings=estimate.halvings
+    )
 
 
 def decode_estimate(backend: CipherBackend, estimate: EncryptedEstimate,

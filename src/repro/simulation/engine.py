@@ -16,6 +16,7 @@ cycle.  :class:`CycleEngine` reproduces that model:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -72,6 +73,17 @@ class CycleEngine:
         self.current_cycle = -1
         self._scheduler_rng = self.rng_registry.stream("engine.scheduler")
         self._churn_rng = self.rng_registry.stream("engine.churn")
+        # Incremental online-node index: every node reports its online-flag
+        # transitions (including direct ``node.online = ...`` assignments by
+        # tests and fault-injection code), so peer sampling never re-scans
+        # the whole population.  The sorted view is rebuilt lazily, only
+        # after a transition actually happened.
+        self._online_ids: set[int] = set()
+        self._online_sorted: list[int] | None = None
+        for node in self.nodes:
+            node._online_listener = self._node_online_changed
+            if node.online:
+                self._online_ids.add(node.node_id)
 
     # ------------------------------------------------------------------ topology helpers
     @property
@@ -85,28 +97,48 @@ class CycleEngine:
             raise SimulationError(f"node id {node_id} outside [0, {self.n_nodes})")
         return self.nodes[node_id]
 
+    def _node_online_changed(self, node: Node, online: bool) -> None:
+        if online:
+            self._online_ids.add(node.node_id)
+        else:
+            self._online_ids.discard(node.node_id)
+        self._online_sorted = None
+
+    def _sorted_online_ids(self) -> list[int]:
+        if self._online_sorted is None:
+            self._online_sorted = sorted(self._online_ids)
+        return self._online_sorted
+
     def online_nodes(self) -> list[Node]:
-        """Every node currently online."""
-        return [node for node in self.nodes if node.online]
+        """Every node currently online (in node-id order)."""
+        return [self.nodes[node_id] for node_id in self._sorted_online_ids()]
 
     def online_ids(self) -> list[int]:
-        """Ids of every node currently online."""
-        return [node.node_id for node in self.nodes if node.online]
+        """Ids of every node currently online (in node-id order)."""
+        return list(self._sorted_online_ids())
 
     def random_online_peer(self, exclude: int | None = None) -> Node | None:
         """Uniformly random online node, optionally excluding one id.
 
         Returns ``None`` when no eligible peer exists.  This is the uniform
         peer-sampling service that the gossip layer uses when the overlay is
-        the complete graph.
+        the complete graph.  The draw is made over the online index without
+        materialising a filtered candidate list; the selected node (and the
+        consumed randomness) is identical to the historical list-building
+        implementation.
         """
-        candidates = [
-            node for node in self.nodes if node.online and node.node_id != exclude
-        ]
-        if not candidates:
+        candidates = self._sorted_online_ids()
+        count = len(candidates)
+        excluded_position = None
+        if exclude is not None and exclude in self._online_ids:
+            excluded_position = bisect_left(candidates, exclude)
+            count -= 1
+        if count <= 0:
             return None
-        index = int(self._scheduler_rng.integers(0, len(candidates)))
-        return candidates[index]
+        index = int(self._scheduler_rng.integers(0, count))
+        if excluded_position is not None and index >= excluded_position:
+            index += 1
+        return self.nodes[candidates[index]]
 
     # ------------------------------------------------------------------ messaging
     def send(self, sender: int, recipient: int, kind: str, payload: object,
@@ -137,17 +169,36 @@ class CycleEngine:
         # The churn model is only active when nodes can actually fail; nodes
         # taken offline explicitly (e.g. by a test or a fault-injection
         # scenario) must stay offline rather than being "rejoined" here.
+        #
+        # All per-node uniforms of a cycle come from one vectorised draw; the
+        # underlying PCG64 stream consumption is identical to the historical
+        # one-``random()``-per-node loop, so seeded runs are unchanged, while
+        # the Python-level work shrinks to the (typically few) nodes that
+        # actually flip state.
         if self.churn_rate == 0.0:
             return
-        for node in self.nodes:
+        if self.rejoin_rate > 0.0:
+            subjects = self.nodes
+            draws = self._churn_rng.random(len(subjects))
+            thresholds = np.where(
+                np.fromiter((node.online for node in subjects), dtype=bool, count=len(subjects)),
+                self.churn_rate,
+                self.rejoin_rate,
+            )
+        else:
+            # Historically only online nodes drew randomness when rejoining
+            # was impossible; preserve that stream shape exactly.
+            subjects = self.online_nodes()
+            draws = self._churn_rng.random(len(subjects))
+            thresholds = np.full(len(subjects), self.churn_rate)
+        for position in np.nonzero(draws < thresholds)[0]:
+            node = subjects[int(position)]
             if node.online:
-                if self.churn_rate > 0 and self._churn_rng.random() < self.churn_rate:
-                    node.online = False
-                    node.on_offline(self, cycle)
+                node.online = False
+                node.on_offline(self, cycle)
             else:
-                if self.rejoin_rate > 0 and self._churn_rng.random() < self.rejoin_rate:
-                    node.online = True
-                    node.on_online(self, cycle)
+                node.online = True
+                node.on_online(self, cycle)
 
     def run_cycle(self) -> int:
         """Run exactly one cycle and return its index."""

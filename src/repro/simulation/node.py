@@ -19,13 +19,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 
 
 class Node(ABC):
-    """Base class of every simulated participant."""
+    """Base class of every simulated participant.
+
+    ``online`` is a plain boolean to callers, but assignments are observed
+    by the engine the node is registered with, which maintains an incremental
+    online-id index instead of re-scanning the whole population on every
+    peer-sampling call.
+    """
 
     def __init__(self, node_id: int) -> None:
         if node_id < 0:
             raise SimulationError(f"node ids must be >= 0, got {node_id}")
         self.node_id = node_id
-        self.online = True
+        self._online = True
+        self._online_listener = None
+
+    @property
+    def online(self) -> bool:
+        """Whether this node currently participates in cycles."""
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._online:
+            return
+        self._online = value
+        if self._online_listener is not None:
+            self._online_listener(self, value)
 
     @abstractmethod
     def next_cycle(self, engine: "CycleEngine", cycle: int) -> None:

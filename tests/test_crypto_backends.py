@@ -114,14 +114,16 @@ class TestSemanticSecurityOfRealBackend:
 
 class TestOperationCounter:
     def test_merge_and_reset(self):
-        a = OperationCounter(encryptions=1, additions=2)
-        b = OperationCounter(partial_decryptions=3, combinations=4)
+        a = OperationCounter(encryptions=1, additions=2, pooled_encryptions=1)
+        b = OperationCounter(partial_decryptions=3, combinations=4, rerandomizations=5)
         merged = a.merge(b)
         assert merged.as_dict() == {
             "encryptions": 1, "additions": 2, "partial_decryptions": 3, "combinations": 4,
+            "pooled_encryptions": 1, "rerandomizations": 5,
         }
         a.reset()
         assert a.as_dict()["encryptions"] == 0
+        assert a.as_dict()["pooled_encryptions"] == 0
 
 
 class TestFactory:

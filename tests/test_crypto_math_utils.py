@@ -112,3 +112,57 @@ class TestMiscHelpers:
     def test_product(self):
         assert product([]) == 1
         assert product([2, 3, 4]) == 24
+
+
+class TestDeterministicPrimalityFastPath:
+    """Below ~3.3e24 the fixed Miller-Rabin bases are exact: no random rounds."""
+
+    def test_no_random_witnesses_below_the_bound(self, monkeypatch):
+        import secrets as secrets_module
+
+        from repro.crypto import math_utils
+
+        def forbidden(_bound):
+            raise AssertionError("random rounds must be skipped below the bound")
+
+        monkeypatch.setattr(math_utils.secrets, "randbelow", forbidden)
+        # 2^61 - 1 is a Mersenne prime well below the deterministic bound.
+        assert math_utils.is_probable_prime((1 << 61) - 1)
+        assert not math_utils.is_probable_prime((1 << 61) - 3)
+        del secrets_module
+
+    def test_random_witnesses_still_used_above_the_bound(self, monkeypatch):
+        from repro.crypto import math_utils
+
+        calls = []
+        real = math_utils.secrets.randbelow
+
+        def counting(bound):
+            calls.append(bound)
+            return real(bound)
+
+        monkeypatch.setattr(math_utils.secrets, "randbelow", counting)
+        # A 128-bit prime (> 3.3e24): the probabilistic rounds must run.
+        prime_128 = (1 << 127) - 1  # Mersenne prime M127
+        assert math_utils.is_probable_prime(prime_128, rounds=4)
+        assert len(calls) == 4
+
+    def test_strong_pseudoprime_to_twelve_bases_rejected(self):
+        from repro.crypto.math_utils import is_probable_prime
+
+        # Smallest strong pseudoprime to bases 2..37: composite, below the
+        # bound, and only witnessed by base 41 — the deterministic set must
+        # include 41 for the skip-random-rounds fast path to be sound.
+        assert not is_probable_prime(318_665_857_834_031_151_167_461)
+
+    def test_agreement_around_the_bound(self):
+        from repro.crypto.math_utils import _DETERMINISTIC_BOUND, is_probable_prime
+
+        # The largest prime below the deterministic bound (verified offline)
+        # and its composite neighbourhood: the deterministic-only path must
+        # classify all of them correctly right up to the cutover.
+        largest_prime_below = 3_317_044_064_679_887_385_961_813
+        assert largest_prime_below < _DETERMINISTIC_BOUND
+        assert is_probable_prime(largest_prime_below)
+        for candidate in range(largest_prime_below + 1, _DETERMINISTIC_BOUND):
+            assert not is_probable_prime(candidate)

@@ -1,11 +1,13 @@
 """Analysis layer: quality comparisons, cost model, profile search, reporting."""
 
 from .costs import (
+    ByteAccounting,
     CostEstimate,
     CostModel,
     CryptoCostProfile,
     ProtocolWorkload,
     measure_crypto_costs,
+    sweep_crypto_costs,
 )
 from .profiles import ProfileMatch, closest_profiles, match_subsequence, profile_recall
 from .quality import (
@@ -18,11 +20,13 @@ from .quality import (
 from .reporting import format_comparison, format_series, format_table, format_value
 
 __all__ = [
+    "ByteAccounting",
     "CryptoCostProfile",
     "CostModel",
     "CostEstimate",
     "ProtocolWorkload",
     "measure_crypto_costs",
+    "sweep_crypto_costs",
     "ProfileMatch",
     "match_subsequence",
     "closest_profiles",

@@ -23,13 +23,30 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..crypto import damgard_jurik as dj
-from ..crypto.fastmath import BlinderPool, PrecomputedKey, normalize_fastmath
+from ..crypto.fastmath import (
+    FASTMATH_CHOICES,
+    BlinderPool,
+    PrecomputedKey,
+    normalize_fastmath,
+)
 from ..crypto.threshold import (
     combine_partial_decryptions,
     generate_threshold_keypair,
     partial_decrypt,
 )
 from ..exceptions import AnalysisError
+
+from ..crypto.wire import FRAME_FIXED_OVERHEAD_BYTES
+from ..simulation.network import ByteAccounting
+
+#: Approximate wire-format overheads used by the *modelled* wire-byte
+#: figures (the measured figures come from actual frames).  A frame adds
+#: the fixed envelope (magic + version + type + CRC32) plus a body-length
+#: varint of up to 4 bytes for any frame below 256 MiB; each serialized
+#: estimate adds its header (backend name, logical length, packing flag,
+#: homomorphic weight bigint, ciphertext width, count, halvings exponent).
+WIRE_FRAME_OVERHEAD_BYTES = FRAME_FIXED_OVERHEAD_BYTES + 4
+WIRE_ESTIMATE_OVERHEAD_BYTES = 28
 
 
 @dataclass(frozen=True)
@@ -160,6 +177,33 @@ def measure_crypto_costs(
     )
 
 
+def sweep_crypto_costs(
+    key_bits: int = 512,
+    degree: int = 1,
+    threshold: int = 3,
+    n_shares: int = 5,
+    repetitions: int = 5,
+    modes: tuple[str, ...] = FASTMATH_CHOICES,
+) -> dict[str, CryptoCostProfile]:
+    """Measure the per-operation costs once per fastmath mode.
+
+    The demo's cost screens show these side by side: the ``"off"`` column is
+    the seed arithmetic every device can run, the ``"auto"`` column is what
+    a device gains from the public fastmath accelerations (per-key caches,
+    idle-time blinder pools, multi-exponentiation) — same integers, less
+    time.  Each mode generates its own key, so the rows are independent
+    measurements, not a shared-key best case.
+    """
+    profiles: dict[str, CryptoCostProfile] = {}
+    for mode in modes:
+        mode = normalize_fastmath(mode)
+        profiles[mode] = measure_crypto_costs(
+            key_bits=key_bits, degree=degree, threshold=threshold,
+            n_shares=n_shares, repetitions=repetitions, fastmath=mode,
+        )
+    return profiles
+
+
 @dataclass(frozen=True)
 class ProtocolWorkload:
     """Per-participant operation counts of one protocol run.
@@ -243,6 +287,48 @@ class ProtocolWorkload:
         decryption = 2 * self.threshold
         return gossip + decryption
 
+    # ------------------------------------------------------------ byte accounting
+    def modelled_bytes_per_iteration(self, ciphertext_bytes: int) -> int:
+        """Bytes per participant per iteration under the historical size model.
+
+        One gossip message carries both sides of the diptych (2k estimates),
+        one decryption message carries the k combined estimates; every
+        estimate is charged its raw ciphertext payload.
+        """
+        payload = ciphertext_bytes * self.n_clusters * self.ciphertexts_per_estimate
+        gossip = 2 * payload * 2 * self.gossip_cycles * self.exchanges_per_cycle
+        decryption = 2 * payload * self.threshold
+        return gossip + decryption
+
+    def wire_bytes_per_iteration(self, ciphertext_bytes: int) -> int:
+        """Modelled bytes per iteration *including* wire-format overhead.
+
+        Adds the frame envelope per message and the serialization header per
+        estimate on top of :meth:`modelled_bytes_per_iteration`; this is the
+        model-side prediction of what a wire-format run measures (runs
+        report the exact figure in
+        :attr:`~repro.core.result.CostSummary.bytes_sent`).
+        """
+        gossip_messages = 2 * self.gossip_cycles * self.exchanges_per_cycle
+        decrypt_messages = 2 * self.threshold
+        overhead = (
+            (gossip_messages + decrypt_messages) * WIRE_FRAME_OVERHEAD_BYTES
+            + gossip_messages * 2 * self.n_clusters * WIRE_ESTIMATE_OVERHEAD_BYTES
+            + decrypt_messages * self.n_clusters * WIRE_ESTIMATE_OVERHEAD_BYTES
+        )
+        return self.modelled_bytes_per_iteration(ciphertext_bytes) + overhead
+
+    def byte_accounting(self, ciphertext_bytes: int) -> "ByteAccounting":
+        """Modelled-vs-wire byte totals for a whole run of this workload."""
+        return ByteAccounting(
+            bytes_modelled=float(
+                self.iterations * self.modelled_bytes_per_iteration(ciphertext_bytes)
+            ),
+            bytes_measured=float(
+                self.iterations * self.wire_bytes_per_iteration(ciphertext_bytes)
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class CostEstimate:
@@ -296,12 +382,9 @@ class CostModel:
             * self.profile.partial_decryption_seconds
             + workload.combinations_per_iteration * self.profile.combination_seconds
         )
-        payload = self.profile.ciphertext_bytes * workload.n_clusters * (
-            workload.ciphertexts_per_estimate
+        bytes_sent = iterations * workload.modelled_bytes_per_iteration(
+            self.profile.ciphertext_bytes
         )
-        gossip_bytes = 2 * payload * 2 * workload.gossip_cycles * workload.exchanges_per_cycle
-        decryption_bytes = 2 * payload * workload.threshold
-        bytes_sent = iterations * (gossip_bytes + decryption_bytes)
         messages = iterations * workload.messages_per_iteration
         return CostEstimate(
             encryption_seconds=encryption,

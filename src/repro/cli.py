@@ -32,6 +32,7 @@ from .analysis import (
     format_comparison,
     format_table,
     measure_crypto_costs,
+    sweep_crypto_costs,
 )
 from .config import ChiaroscuroConfig
 from .core import run_chiaroscuro
@@ -65,6 +66,7 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
         crypto={"backend": args.backend, "packing": normalize_packing(args.packing),
                 "fastmath": args.fastmath},
         simulation={"n_participants": args.participants, "seed": args.seed},
+        network={"wire": args.wire, "corruption_rate": args.corruption_rate},
     )
 
 
@@ -92,6 +94,13 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fastmath", default="auto", choices=["auto", "off"],
                         help="modular-arithmetic fast path (CRT, pools, multi-exp); "
                              "off reproduces the seed arithmetic bit for bit")
+    parser.add_argument("--wire", default="auto", choices=["auto", "off"],
+                        help="binary wire format: auto transports serialized byte "
+                             "frames and reports measured sizes, off reproduces the "
+                             "modelled-size simulation (results are bit-identical)")
+    parser.add_argument("--corruption-rate", type=float, default=0.0,
+                        help="probability that a delivered wire frame has one bit "
+                             "flipped in transit (requires --wire auto)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -138,24 +147,52 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_crypto_bench(args: argparse.Namespace) -> int:
-    profile = measure_crypto_costs(
-        key_bits=args.key_bits, degree=args.degree, threshold=args.threshold,
-        n_shares=max(args.threshold, args.threshold + 2), repetitions=args.repetitions,
-        fastmath=args.fastmath,
-    )
-    workload = ProtocolWorkload(
-        n_clusters=args.clusters, series_length=args.series_length,
-        iterations=args.iterations, gossip_cycles=args.gossip_cycles,
-        exchanges_per_cycle=1, threshold=args.threshold, slots=args.slots,
-        amortized_encryptions=args.fastmath != "off",
-    )
-    rows = CostModel(profile).sweep_population(workload, args.populations)
+    n_shares = max(args.threshold, args.threshold + 2)
+    if args.fastmath == "sweep":
+        profiles = sweep_crypto_costs(
+            key_bits=args.key_bits, degree=args.degree, threshold=args.threshold,
+            n_shares=n_shares, repetitions=args.repetitions,
+        )
+    else:
+        profiles = {
+            args.fastmath: measure_crypto_costs(
+                key_bits=args.key_bits, degree=args.degree, threshold=args.threshold,
+                n_shares=n_shares, repetitions=args.repetitions,
+                fastmath=args.fastmath,
+            )
+        }
+    payload: dict = {"profiles": {}, "rows": {}}
+    profile_rows = []
+    for mode, profile in profiles.items():
+        workload = ProtocolWorkload(
+            n_clusters=args.clusters, series_length=args.series_length,
+            iterations=args.iterations, gossip_cycles=args.gossip_cycles,
+            exchanges_per_cycle=1, threshold=args.threshold, slots=args.slots,
+            amortized_encryptions=mode != "off",
+        )
+        rows = CostModel(profile).sweep_population(workload, args.populations)
+        accounting = workload.byte_accounting(profile.ciphertext_bytes)
+        for row in rows:
+            row["wire_bytes_sent"] = accounting.bytes_measured
+            row["wire_overhead_fraction"] = accounting.overhead_fraction
+        payload["profiles"][mode] = profile.as_dict()
+        payload["rows"][mode] = rows
+        profile_rows.append({"fastmath": mode, **profile.as_dict()})
     if args.json:
-        print(json.dumps({"profile": profile.as_dict(), "rows": rows}, indent=2))
+        if len(profiles) == 1:
+            mode = next(iter(profiles))
+            print(json.dumps({"profile": payload["profiles"][mode],
+                              "rows": payload["rows"][mode]}, indent=2))
+        else:
+            print(json.dumps(payload, indent=2))
         return 0
-    print(format_table([profile.as_dict()], title="measured per-operation costs"))
-    print()
-    print(format_table(rows, title="extrapolated per-participant run costs"))
+    print(format_table(profile_rows, title="measured per-operation costs"))
+    for mode in profiles:
+        print()
+        print(format_table(
+            payload["rows"][mode],
+            title=f"extrapolated per-participant run costs (fastmath={mode})",
+        ))
     return 0
 
 
@@ -187,9 +224,11 @@ def build_parser() -> argparse.ArgumentParser:
     crypto_parser.add_argument("--gossip-cycles", type=int, default=12)
     crypto_parser.add_argument("--slots", type=int, default=1,
                                help="ciphertext slots per plaintext charged by the model")
-    crypto_parser.add_argument("--fastmath", default="off", choices=["auto", "off"],
+    crypto_parser.add_argument("--fastmath", default="off",
+                               choices=["auto", "off", "sweep"],
                                help="measure with the modular-arithmetic fast path "
-                                    "(CRT, amortized pools, multi-exp)")
+                                    "(CRT, amortized pools, multi-exp); 'sweep' "
+                                    "measures both modes and prints them side by side")
     crypto_parser.add_argument("--populations", type=int, nargs="+",
                                default=[10**3, 10**6])
     crypto_parser.add_argument("--json", action="store_true")

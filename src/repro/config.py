@@ -23,6 +23,7 @@ from ._validation import (
 )
 from .crypto.backends import normalize_packing
 from .crypto.fastmath import normalize_fastmath
+from .crypto.wire import normalize_wire
 from .exceptions import ConfigurationError, ValidationError
 
 #: Budget-distribution strategies shipped with the library (Section II.B,
@@ -244,6 +245,42 @@ class GossipConfig:
 
 
 @dataclass(frozen=True)
+class NetworkConfig:
+    """Transport-layer parameters of the simulated network.
+
+    Attributes
+    ----------
+    wire:
+        ``"auto"`` (default) transports every protocol message as a
+        serialized, versioned byte frame (see :mod:`repro.crypto.wire` and
+        :mod:`repro.gossip.messages`): recipients deserialize on receipt and
+        the network accounts *measured* frame bytes.  ``"off"`` reproduces
+        the historical simulation that passes object references and charges
+        modelled sizes.  Both modes produce bit-identical protocol results.
+    corruption_rate:
+        Probability that a delivered wire frame has one random bit flipped
+        in transit.  Corrupted frames fail their checksum, raise
+        :class:`~repro.exceptions.WireFormatError` in the decoder and are
+        treated as losses by the protocol.  Only meaningful with
+        ``wire="auto"``; must be 0 when the wire format is off.
+    """
+
+    wire: str = "auto"
+    corruption_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        try:
+            normalize_wire(self.wire)
+        except ValidationError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        check_probability(self.corruption_rate, "corruption_rate")
+        if self.wire == "off" and self.corruption_rate > 0:
+            raise ConfigurationError(
+                "corruption_rate requires the wire format (set network.wire='auto')"
+            )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Population and fault-model parameters of the cycle-driven simulation.
 
@@ -321,6 +358,7 @@ class ChiaroscuroConfig:
     gossip: GossipConfig = field(default_factory=GossipConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     smoothing: SmoothingConfig = field(default_factory=SmoothingConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
 
     def __post_init__(self) -> None:
         if self.crypto.threshold > self.simulation.n_participants:
@@ -351,6 +389,7 @@ class ChiaroscuroConfig:
         """
         valid = {
             "kmeans", "privacy", "crypto", "gossip", "simulation", "smoothing",
+            "network",
         }
         updates: dict[str, Any] = {}
         for section, fields_ in sections.items():
@@ -369,6 +408,7 @@ class ChiaroscuroConfig:
             "gossip": vars(self.gossip).copy(),
             "simulation": vars(self.simulation).copy(),
             "smoothing": vars(self.smoothing).copy(),
+            "network": vars(self.network).copy(),
         }
 
 

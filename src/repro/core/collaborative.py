@@ -8,6 +8,17 @@ perturbed encrypted means sends each committee member the ciphertexts and
 receives a partial decryption back, then combines locally.  Message and byte
 counts are charged to the network so that the cost analysis reflects the
 decryption traffic.
+
+With the wire format enabled every round-trip moves serialized byte frames
+(:class:`~repro.gossip.messages.DecryptRequest` /
+:class:`~repro.gossip.messages.DecryptResponse`): helpers partially decrypt
+the ciphertexts they *deserialize from the received bytes*, responses are
+decoded the same way, and the network accounts measured frame lengths.  A
+frame corrupted in transit fails its checksum, that helper contributes no
+partial decryptions, and when fewer than ``threshold`` distinct shares
+survive the round the usual :class:`~repro.exceptions.ThresholdError`
+surfaces — the caller retries at the next cycle, exactly as it does when
+committee members are offline.
 """
 
 from __future__ import annotations
@@ -18,7 +29,8 @@ from typing import Sequence
 import numpy as np
 
 from ..crypto.backends import CipherBackend, PartialVectorDecryption
-from ..exceptions import ThresholdError
+from ..crypto.wire import wire_ciphertext_bytes
+from ..exceptions import ThresholdError, WireFormatError
 from ..gossip.encrypted_sum import EncryptedEstimate, estimate_payload_bytes
 from ..simulation.engine import CycleEngine
 
@@ -67,36 +79,113 @@ def _online_helpers(engine: CycleEngine, backend: CipherBackend) -> tuple[int, .
     return tuple(committee[: backend.threshold])
 
 
+def _committee_round(
+    engine: CycleEngine,
+    requester_id: int,
+    backend: CipherBackend,
+    estimates: Sequence[EncryptedEstimate],
+    wire: bool,
+) -> tuple[list[list[PartialVectorDecryption]], tuple[int, ...], int, int]:
+    """One request/response round with every online helper.
+
+    Returns the per-estimate partial decryptions gathered, the helper ids,
+    and the message/byte counts charged to the network.  With *wire* on,
+    helpers operate on the ciphertexts decoded from the received frames; an
+    undecodable (corrupted) frame simply removes that helper's contribution
+    from the round.
+    """
+    helpers = _online_helpers(engine, backend)
+    modelled = sum(estimate_payload_bytes(backend, estimate) for estimate in estimates)
+    per_estimate_partials: list[list[PartialVectorDecryption]] = [[] for _ in estimates]
+    messages = 0
+    bytes_transferred = 0
+    request_frame = b""
+    if wire:
+        from ..gossip.messages import DecryptRequest
+
+        width = wire_ciphertext_bytes(backend)
+        request_frame = DecryptRequest(
+            estimates=tuple(estimates), ciphertext_bytes=width
+        ).serialize()
+    for helper_id in helpers:
+        share_index = share_index_of(helper_id, backend.n_shares)
+        if share_index is None:  # pragma: no cover - committee construction guarantees this
+            raise ThresholdError(f"node {helper_id} holds no key share")
+        if wire:
+            from ..gossip.messages import DecryptResponse, deserialize
+
+            received = engine.transmit(
+                requester_id, helper_id, "decrypt-request", request_frame,
+                modelled_bytes=modelled,
+            )
+            messages += 1
+            bytes_transferred += len(request_frame)
+            if received is None:
+                # The committee round-trip is atomic in the cycle model
+                # (drops are modelled at the gossip layer); the frame is
+                # still parsed so the helper works from decoded bytes.
+                received = request_frame
+            try:
+                request = deserialize(received)
+            except WireFormatError:
+                continue  # corrupted request: this helper cannot serve
+            helper_partials = tuple(
+                backend.partial_decrypt_vector(share_index, estimate.vector)
+                for estimate in request.estimates
+            )
+            response_frame = DecryptResponse(
+                partials=helper_partials, ciphertext_bytes=width
+            ).serialize()
+            returned = engine.transmit(
+                helper_id, requester_id, "decrypt-response", response_frame,
+                modelled_bytes=modelled,
+            )
+            messages += 1
+            bytes_transferred += len(response_frame)
+            if returned is None:
+                returned = response_frame
+            try:
+                response = deserialize(returned)
+            except WireFormatError:
+                continue  # corrupted response: discard this helper's shares
+            if len(response.partials) != len(estimates):
+                continue
+            for position, partial in enumerate(response.partials):
+                per_estimate_partials[position].append(partial)
+        else:
+            engine.send(requester_id, helper_id, "decrypt-request", None,
+                        size_bytes=modelled)
+            messages += 1
+            bytes_transferred += modelled
+            for position, estimate in enumerate(estimates):
+                per_estimate_partials[position].append(
+                    backend.partial_decrypt_vector(share_index, estimate.vector)
+                )
+            engine.send(helper_id, requester_id, "decrypt-response", None,
+                        size_bytes=modelled)
+            messages += 1
+            bytes_transferred += modelled
+    return per_estimate_partials, helpers, messages, bytes_transferred
+
+
 def collaborative_decrypt(
     engine: CycleEngine,
     requester_id: int,
     backend: CipherBackend,
     estimate: EncryptedEstimate,
+    wire: bool = False,
 ) -> DecryptionOutcome:
     """Decrypt *estimate* by gathering partial decryptions from online helpers.
 
     Raises :class:`ThresholdError` when fewer than ``backend.threshold``
-    committee members are currently online (the caller typically retries at
-    the next cycle).
+    committee members are currently online — or, with the wire format on,
+    when corruption left fewer than ``threshold`` usable partial
+    decryptions (the caller typically retries at the next cycle).
     """
-    helpers = _online_helpers(engine, backend)
-    request_bytes = estimate_payload_bytes(backend, estimate)
-    partials: list[PartialVectorDecryption] = []
-    messages = 0
-    bytes_transferred = 0
-    for helper_id in helpers:
-        engine.send(requester_id, helper_id, "decrypt-request", None, size_bytes=request_bytes)
-        messages += 1
-        bytes_transferred += request_bytes
-        share_index = share_index_of(helper_id, backend.n_shares)
-        if share_index is None:  # pragma: no cover - committee construction guarantees this
-            raise ThresholdError(f"node {helper_id} holds no key share")
-        partial = backend.partial_decrypt_vector(share_index, estimate.vector)
-        partials.append(partial)
-        engine.send(helper_id, requester_id, "decrypt-response", None, size_bytes=request_bytes)
-        messages += 1
-        bytes_transferred += request_bytes
-    combined = backend.combine_vector(partials)
+    per_estimate, helpers, messages, bytes_transferred = _committee_round(
+        engine, requester_id, backend, [estimate], wire
+    )
+    combined = backend.combine_vector(per_estimate[0])
     values = combined / float(1 << estimate.halvings)
     return DecryptionOutcome(
         values=values,
@@ -111,6 +200,7 @@ def collaborative_decrypt_many(
     requester_id: int,
     backend: CipherBackend,
     estimates: Sequence[EncryptedEstimate],
+    wire: bool = False,
 ) -> BatchDecryptionOutcome:
     """Decrypt several estimates in one committee round-trip when possible.
 
@@ -127,7 +217,8 @@ def collaborative_decrypt_many(
         messages = 0
         bytes_transferred = 0
         for estimate in estimates:
-            outcome = collaborative_decrypt(engine, requester_id, backend, estimate)
+            outcome = collaborative_decrypt(engine, requester_id, backend, estimate,
+                                            wire=wire)
             values.append(outcome.values)
             helpers = outcome.helpers
             messages += outcome.messages
@@ -137,30 +228,12 @@ def collaborative_decrypt_many(
             bytes_transferred=bytes_transferred,
         )
 
-    helpers = _online_helpers(engine, backend)
-    request_bytes = sum(
-        estimate_payload_bytes(backend, estimate) for estimate in estimates
+    per_estimate, helpers, messages, bytes_transferred = _committee_round(
+        engine, requester_id, backend, estimates, wire
     )
-    per_estimate_partials: list[list[PartialVectorDecryption]] = [[] for _ in estimates]
-    messages = 0
-    bytes_transferred = 0
-    for helper_id in helpers:
-        engine.send(requester_id, helper_id, "decrypt-request", None, size_bytes=request_bytes)
-        messages += 1
-        bytes_transferred += request_bytes
-        share_index = share_index_of(helper_id, backend.n_shares)
-        if share_index is None:  # pragma: no cover - committee construction guarantees this
-            raise ThresholdError(f"node {helper_id} holds no key share")
-        for position, estimate in enumerate(estimates):
-            per_estimate_partials[position].append(
-                backend.partial_decrypt_vector(share_index, estimate.vector)
-            )
-        engine.send(helper_id, requester_id, "decrypt-response", None, size_bytes=request_bytes)
-        messages += 1
-        bytes_transferred += request_bytes
     values = [
         backend.combine_vector(partials) / float(1 << estimate.halvings)
-        for partials, estimate in zip(per_estimate_partials, estimates)
+        for partials, estimate in zip(per_estimate, estimates)
     ]
     return BatchDecryptionOutcome(
         values=values, helpers=helpers, messages=messages,

@@ -143,23 +143,42 @@ def build_contribution(
     return data_estimates, noise_estimates
 
 
-def merge_diptychs(backend: CipherBackend, mine: Diptych, theirs: Diptych) -> None:
+def merge_diptychs(
+    backend: CipherBackend,
+    mine: Diptych,
+    theirs: Diptych,
+    theirs_view: tuple[list[EncryptedEstimate], list[EncryptedEstimate]] | None = None,
+) -> None:
     """Pairwise gossip exchange between two diptychs (both sides updated).
 
     Averages every per-cluster estimate of the two participants; this is the
     gossip computation of the encrypted means and of the encrypted noises
     (steps 2a and 2b), performed in a single exchange.
+
+    *theirs_view*, when given, is the peer's contribution *as it travelled*
+    — the (data, noise) estimate lists decoded from the received wire frame
+    (and re-randomized per hop).  The averages are then computed against
+    that view instead of the peer's in-memory objects, while both
+    participants still adopt the single merged result (in the real protocol
+    each side computes the identical plaintext average locally; the shared
+    object is the cycle simulation's shortcut for that).
     """
     mine.check_consistent()
     theirs.check_consistent()
     if mine.n_clusters != theirs.n_clusters or mine.series_length != theirs.series_length:
         raise ProtocolError("cannot merge diptychs with different shapes")
+    if theirs_view is None:
+        view_data, view_noise = theirs.data_estimates, theirs.noise_estimates
+    else:
+        view_data, view_noise = theirs_view
+        if len(view_data) != mine.n_clusters or len(view_noise) != mine.n_clusters:
+            raise ProtocolError("peer view does not carry one estimate per cluster")
     for cluster in range(mine.n_clusters):
         averaged_data = average_estimates(
-            backend, mine.data_estimates[cluster], theirs.data_estimates[cluster]
+            backend, mine.data_estimates[cluster], view_data[cluster]
         )
         averaged_noise = average_estimates(
-            backend, mine.noise_estimates[cluster], theirs.noise_estimates[cluster]
+            backend, mine.noise_estimates[cluster], view_noise[cluster]
         )
         mine.data_estimates[cluster] = averaged_data
         theirs.data_estimates[cluster] = averaged_data

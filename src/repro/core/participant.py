@@ -28,8 +28,14 @@ from ..clustering.kmeans import centroid_displacement, reseed_centroid
 from ..clustering.smoothing import smooth_centroids
 from ..config import ChiaroscuroConfig
 from ..crypto.backends import CipherBackend
-from ..exceptions import ProtocolError, ThresholdError
-from ..gossip.encrypted_sum import add_estimates, estimate_payload_bytes
+from ..crypto.wire import normalize_wire, wire_ciphertext_bytes
+from ..exceptions import ProtocolError, ThresholdError, WireFormatError
+from ..gossip.encrypted_sum import (
+    EncryptedEstimate,
+    add_estimates,
+    estimate_payload_bytes,
+    rerandomize_estimate,
+)
 from ..gossip.overlay import Overlay
 from ..privacy.budget import PrivacyAccountant
 from ..privacy.laplace import SensitivityModel
@@ -98,6 +104,7 @@ class ChiaroscuroParticipant(Node):
         self.config = config
         self.backend = backend
         self.overlay = overlay
+        self.wire_enabled = normalize_wire(config.network.wire) != "off"
         self.noise_contributor = noise_contributor
         self.n_noise_contributors = max(1, int(n_noise_contributors))
         self._rng = np.random.default_rng(seed)
@@ -228,6 +235,76 @@ class ChiaroscuroParticipant(Node):
         self.phase = Phase.ASSIGN
         self._assignment_step()
 
+    def _forwarded_estimates(
+        self, diptych: Diptych
+    ) -> tuple[list[EncryptedEstimate], list[EncryptedEstimate]]:
+        """Re-randomized copies of a diptych's estimates, ready to forward.
+
+        Only these copies ever travel (or stand in for travelling, with the
+        wire format off): the stored estimates never leave the device, so a
+        hop-by-hop observer sees unlinkable ciphertexts that decrypt to the
+        same plaintexts.
+        """
+        data = [rerandomize_estimate(self.backend, estimate)
+                for estimate in diptych.data_estimates]
+        noise = [rerandomize_estimate(self.backend, estimate)
+                 for estimate in diptych.noise_estimates]
+        return data, noise
+
+    def _wire_exchange(
+        self,
+        engine: CycleEngine,
+        peer: "ChiaroscuroParticipant",
+        peer_id: int,
+        outgoing: tuple[list[EncryptedEstimate], list[EncryptedEstimate]],
+        modelled: int,
+    ) -> bool:
+        """One gossip exchange over serialized byte frames.
+
+        Returns True when the exchange completed (diptychs merged from the
+        decoded reply), False when the request was dropped or either frame
+        arrived corrupted.  A dropped *reply* is still merged: the pairwise
+        exchange is atomic in the cycle model (the responder has already
+        applied the average), matching the reference transport bit for bit.
+        """
+        from ..gossip.messages import DiptychExchange, DiptychReply, deserialize
+
+        width = wire_ciphertext_bytes(self.backend)
+        data_out, noise_out = outgoing
+        frame = DiptychExchange(
+            iteration=self.iteration, data_estimates=tuple(data_out),
+            noise_estimates=tuple(noise_out), ciphertext_bytes=width,
+        ).serialize()
+        received = engine.transmit(
+            self.node_id, peer_id, "diptych-exchange", frame, modelled_bytes=modelled
+        )
+        if received is None:
+            return False
+        try:
+            deserialize(received)
+        except WireFormatError:
+            return False  # corrupted request: the peer cannot take part
+        peer_data, peer_noise = self._forwarded_estimates(peer.diptych)
+        reply_frame = DiptychReply(
+            iteration=peer.iteration, data_estimates=tuple(peer_data),
+            noise_estimates=tuple(peer_noise), ciphertext_bytes=width,
+        ).serialize()
+        reply = engine.transmit(
+            peer_id, self.node_id, "diptych-reply", reply_frame,
+            modelled_bytes=modelled,
+        )
+        if reply is None:
+            reply = reply_frame
+        try:
+            message = deserialize(reply)
+        except WireFormatError:
+            return False  # corrupted reply: treat like a loss
+        merge_diptychs(
+            self.backend, self.diptych, peer.diptych,
+            theirs_view=(list(message.data_estimates), list(message.noise_estimates)),
+        )
+        return True
+
     def _gossip_step(self, engine: CycleEngine) -> None:
         if self.diptych is None:  # pragma: no cover - state machine guarantees this
             raise ProtocolError("gossip phase reached without a diptych")
@@ -259,13 +336,23 @@ class ChiaroscuroParticipant(Node):
                 estimate_payload_bytes(self.backend, estimate)
                 for estimate in self.diptych.data_estimates + self.diptych.noise_estimates
             )
-            delivered = engine.send(
-                self.node_id, peer_id, "diptych-exchange", None, size_bytes=payload
-            )
-            if not delivered:
-                continue
-            engine.send(peer_id, self.node_id, "diptych-reply", None, size_bytes=payload)
-            merge_diptychs(self.backend, self.diptych, peer.diptych)
+            # Per-hop unlinkability: every estimate that leaves a device is
+            # a re-randomized copy (fresh ciphertext randomness, identical
+            # plaintexts), so consecutive forwards cannot be linked.
+            outgoing = self._forwarded_estimates(self.diptych)
+            if self.wire_enabled:
+                if not self._wire_exchange(engine, peer, peer_id, outgoing, payload):
+                    continue
+            else:
+                delivered = engine.send(
+                    self.node_id, peer_id, "diptych-exchange", None, size_bytes=payload
+                )
+                if not delivered:
+                    continue
+                engine.send(peer_id, self.node_id, "diptych-reply", None,
+                            size_bytes=payload)
+                merge_diptychs(self.backend, self.diptych, peer.diptych,
+                               theirs_view=self._forwarded_estimates(peer.diptych))
         self.gossip_cycles_done += 1
         if self.gossip_cycles_done >= self.config.gossip.cycles_per_aggregation:
             self.phase = Phase.DECRYPT
@@ -292,7 +379,8 @@ class ChiaroscuroParticipant(Node):
                     for cluster in range(self.n_clusters)
                 ]
                 decrypted = collaborative_decrypt_many(
-                    engine, self.node_id, self.backend, combined
+                    engine, self.node_id, self.backend, combined,
+                    wire=self.wire_enabled,
                 ).values
             else:
                 # Historical layout: one noise addition and one decryption
@@ -310,7 +398,8 @@ class ChiaroscuroParticipant(Node):
                     )
                     decrypted.append(
                         collaborative_decrypt(
-                            engine, self.node_id, self.backend, combined_estimate
+                            engine, self.node_id, self.backend, combined_estimate,
+                            wire=self.wire_enabled,
                         ).values
                     )
         except ThresholdError:

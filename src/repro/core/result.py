@@ -9,6 +9,7 @@ import numpy as np
 
 from ..exceptions import AnalysisError
 from ..privacy.probabilistic import ProbabilisticGuarantee
+from ..simulation.network import ByteAccounting
 from .execution_log import ExecutionLog
 
 
@@ -17,6 +18,12 @@ class CostSummary:
     """Aggregate cost measures of a run (claim C3 of the paper).
 
     All figures are totals over the run unless stated otherwise.
+
+    ``bytes_sent`` is what the network accounted: *measured* serialized
+    frame lengths when the run used the wire format (``wire="auto"``), the
+    modelled size formula otherwise.  ``bytes_sent_modelled`` always holds
+    the modelled figure, so wire runs report both and the difference is the
+    exact framing overhead.
     """
 
     n_participants: int
@@ -27,6 +34,8 @@ class CostSummary:
     homomorphic_additions: int
     partial_decryptions: int
     combinations: int
+    bytes_sent_modelled: int = 0
+    wire: str = "off"
 
     @property
     def messages_per_participant(self) -> float:
@@ -43,6 +52,27 @@ class CostSummary:
         """Average encryptions per participant over the whole run."""
         return self.encryptions / max(1, self.n_participants)
 
+    @property
+    def byte_accounting(self) -> ByteAccounting:
+        """Measured-vs-modelled view of this run's bytes.
+
+        See :class:`~repro.simulation.network.ByteAccounting`; with the
+        wire format off both figures coincide.
+        """
+        return ByteAccounting(
+            bytes_modelled=float(self.bytes_sent_modelled),
+            bytes_measured=float(self.bytes_sent),
+        )
+
+    @property
+    def wire_overhead_fraction(self) -> float:
+        """Measured-over-modelled byte overhead of the wire format.
+
+        Zero when the run did not measure frames (``wire="off"``) or when
+        no bytes were sent.
+        """
+        return self.byte_accounting.overhead_fraction
+
     def as_dict(self) -> dict[str, float]:
         """Plain dictionary view (totals and per-participant averages)."""
         return {
@@ -57,6 +87,8 @@ class CostSummary:
             "messages_per_participant": self.messages_per_participant,
             "bytes_per_participant": self.bytes_per_participant,
             "encryptions_per_participant": self.encryptions_per_participant,
+            "bytes_sent_modelled": float(self.bytes_sent_modelled),
+            "wire_overhead_fraction": self.wire_overhead_fraction,
         }
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from ..clustering.kmeans import assign_to_centroids, compute_inertia, public_initial_centroids
 from ..config import ChiaroscuroConfig
 from ..crypto.backends import CipherBackend, make_backend
+from ..crypto.wire import normalize_wire
 from ..exceptions import ConfigurationError, ProtocolError
 from ..gossip.encrypted_sum import check_headroom
 from ..gossip.overlay import build_overlay
@@ -311,6 +312,7 @@ def run_chiaroscuro(
         churn_rate=config.simulation.churn_rate,
         rejoin_rate=config.simulation.rejoin_rate,
         drop_probability=config.gossip.drop_probability,
+        corruption_rate=config.network.corruption_rate,
     )
     tracked_ids = sorted(
         master_rng.choice(
@@ -328,6 +330,10 @@ def run_chiaroscuro(
         "mode": getattr(backend, "fastmath", "off"),
         "pooled": getattr(backend, "fastmath_enabled", False),
     }
+    wire_info = {
+        "mode": normalize_wire(config.network.wire),
+        "corruption_rate": config.network.corruption_rate,
+    }
     log = ExecutionLog(metadata={
         "dataset": collection.name,
         "n_participants": n_participants,
@@ -337,6 +343,7 @@ def run_chiaroscuro(
         "tracked_participants": tracked_ids,
         "packing": packing_info,
         "fastmath": fastmath_info,
+        "wire": wire_info,
     })
     observer = _RunObserver(
         participants, data, initial_centroids, tracked_ids, engine, backend, log
@@ -386,6 +393,8 @@ def run_chiaroscuro(
         homomorphic_additions=crypto_counts["additions"],
         partial_decryptions=crypto_counts["partial_decryptions"],
         combinations=crypto_counts["combinations"],
+        bytes_sent_modelled=engine.network.total.bytes_modelled,
+        wire=wire_info["mode"],
     )
     per_participant_profiles = {
         p.node_id: (p.final_profiles if p.final_profiles is not None else p.centroids).copy()
@@ -397,6 +406,7 @@ def run_chiaroscuro(
         "dataset": collection.name,
         "packing": packing_info,
         "fastmath": fastmath_info,
+        "wire": wire_info,
     }
     return ChiaroscuroResult(
         profiles=profiles,

@@ -52,6 +52,17 @@ class ThresholdError(CryptoError):
     """Not enough partial decryptions were supplied to recover a plaintext."""
 
 
+class WireFormatError(CryptoError):
+    """A wire frame or payload could not be decoded.
+
+    Every malformed input — truncated, corrupted, over-length, unknown
+    version or type, non-canonical integer encoding, overflowing slot or
+    weight metadata — raises this (and only this) exception, so transport
+    code can treat any undecodable frame as a delivery failure instead of
+    crashing.
+    """
+
+
 class PrivacyError(ReproError):
     """Base class for differential-privacy failures."""
 

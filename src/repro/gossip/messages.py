@@ -1,0 +1,452 @@
+"""Versioned, framed wire messages for every protocol exchange.
+
+Every message Chiaroscuro puts on the network — gossip averaging requests
+and replies (encrypted and cleartext), diptych exchanges, committee
+decryption rounds, push-sum mass transfers, membership announcements and
+key announcements — has a framed binary representation here, built on the
+canonical primitives of :mod:`repro.crypto.wire`.
+
+Frame layout (all integers big-endian)::
+
+    offset  size  field
+    0       2     magic  b"CW"  (Chiaroscuro Wire)
+    2       1     version (WIRE_VERSION)
+    3       1     message type
+    4       var   body length  (canonical varint)
+    ...     len   body         (message-specific, see each dataclass)
+    end     4     CRC32 (IEEE 802.3) of every preceding byte
+
+The trailing CRC makes *corruption* detectable deterministically: flipping
+any bit of a frame changes the checksum, so the decoder raises
+:class:`~repro.exceptions.WireFormatError` instead of silently decoding a
+damaged ciphertext (which would otherwise be indistinguishable from a valid
+one — any byte string is *some* bigint).  Truncation, over-length, unknown
+versions or types, trailing bytes and inconsistent slot/weight metadata are
+likewise rejected with :class:`WireFormatError` and never anything else.
+
+``deserialize(serialize(message)) == message`` holds bit-exactly for every
+message type: bigints and fixed-width ciphertexts round-trip exactly, floats
+travel as IEEE-754 doubles, and the encoders are canonical (one byte
+representation per value), so frames are deterministic functions of the
+message alone — identical across cipher backends, platforms and runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
+
+from ..crypto.wire import (
+    FRAME_FIXED_OVERHEAD_BYTES,
+    MAX_FRAME_BYTES,
+    MAX_SHARE_INDEX,
+    MAX_VECTOR_COMPONENTS,
+    WIRE_VERSION,
+    WireReader,
+    read_encrypted_vector,
+    read_partial_decryption,
+    write_bigint,
+    write_bool,
+    write_encrypted_vector,
+    write_float,
+    write_partial_decryption,
+    write_varint,
+)
+from ..exceptions import WireFormatError
+from .encrypted_sum import EncryptedEstimate
+
+#: Frame magic: "CW" for Chiaroscuro Wire.
+FRAME_MAGIC = b"CW"
+
+_MAX_ESTIMATES = 1 << 12
+_MAX_ITERATION = (1 << 32) - 1
+_MAX_HALVINGS = 1 << 20
+_MAX_KEY_DEGREE = 64
+
+
+def _check_field(value: int, limit: int, field: str) -> int:
+    """Write-side twin of the decoder's field limits.
+
+    Encoders enforce exactly the bounds the decoder enforces, so
+    ``serialize()`` can never emit a frame that a conformant
+    ``deserialize()`` must reject.
+    """
+    if not 0 <= value <= limit:
+        raise WireFormatError(f"{field} {value} outside [0, {limit}]")
+    return value
+
+
+def _write_estimate(out: bytearray, estimate: EncryptedEstimate, width: int) -> None:
+    write_varint(out, _check_field(estimate.halvings, _MAX_HALVINGS, "halvings"))
+    write_encrypted_vector(out, estimate.vector, width)
+
+
+def _read_estimate(reader: WireReader, width: int) -> EncryptedEstimate:
+    halvings = reader.read_varint(limit=_MAX_HALVINGS)
+    vector = read_encrypted_vector(reader, width)
+    return EncryptedEstimate(vector=vector, halvings=halvings)
+
+
+def _write_width(out: bytearray, width: int) -> None:
+    from ..crypto.wire import MAX_CIPHERTEXT_BYTES
+
+    if not 1 <= width <= MAX_CIPHERTEXT_BYTES:
+        raise WireFormatError(
+            f"ciphertext width {width} outside [1, {MAX_CIPHERTEXT_BYTES}]"
+        )
+    write_varint(out, width)
+
+
+def _read_width(reader: WireReader) -> int:
+    from ..crypto.wire import MAX_CIPHERTEXT_BYTES
+
+    width = reader.read_varint(limit=MAX_CIPHERTEXT_BYTES)
+    if width < 1:
+        raise WireFormatError("ciphertext width must be >= 1")
+    return width
+
+
+def _write_float_vector(out: bytearray, values: Sequence[float]) -> None:
+    if len(values) > MAX_VECTOR_COMPONENTS:
+        raise WireFormatError(f"float vector too long for the wire: {len(values)}")
+    write_varint(out, len(values))
+    for value in values:
+        write_float(out, float(value))
+
+
+def _read_float_vector(reader: WireReader) -> tuple[float, ...]:
+    count = reader.read_varint(limit=MAX_VECTOR_COMPONENTS)
+    if count * 8 > reader.remaining:
+        raise WireFormatError(
+            f"truncated float vector: {count} doubles declared, "
+            f"{reader.remaining} bytes available"
+        )
+    return tuple(reader.read_float() for _ in range(count))
+
+
+class WireMessage:
+    """Base class of every framed message (provides the frame envelope)."""
+
+    #: One-byte message type; unique across the registry below.
+    TYPE: ClassVar[int] = 0x00
+
+    def _write_body(self, out: bytearray) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "WireMessage":
+        raise NotImplementedError
+
+    def serialize(self) -> bytes:
+        """Encode this message into one framed byte string."""
+        body = bytearray()
+        self._write_body(body)
+        if len(body) > MAX_FRAME_BYTES:
+            raise WireFormatError(
+                f"message body of {len(body)} bytes exceeds the frame limit"
+            )
+        frame = bytearray(FRAME_MAGIC)
+        frame.append(WIRE_VERSION)
+        frame.append(self.TYPE)
+        write_varint(frame, len(body))
+        frame.extend(body)
+        frame.extend(zlib.crc32(frame).to_bytes(4, "big"))
+        return bytes(frame)
+
+
+@dataclass(frozen=True)
+class _EstimateEnvelope(WireMessage):
+    """Shared body codec of the encrypted-avg request/reply pair.
+
+    Request and reply carry the same body (one estimate plus the
+    ciphertext width); the concrete subclasses differ only in ``TYPE``, so
+    the two directions of the exchange can never diverge in encoding.
+    Dataclass equality compares the concrete class, so a request never
+    equals a reply.
+    """
+
+    estimate: EncryptedEstimate
+    ciphertext_bytes: int
+
+    def _write_body(self, out: bytearray) -> None:
+        _write_width(out, self.ciphertext_bytes)
+        _write_estimate(out, self.estimate, self.ciphertext_bytes)
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "_EstimateEnvelope":
+        width = _read_width(reader)
+        return cls(estimate=_read_estimate(reader, width), ciphertext_bytes=width)
+
+
+class EncryptedAvgRequest(_EstimateEnvelope):
+    """Push half of one encrypted push-pull averaging exchange."""
+
+    TYPE: ClassVar[int] = 0x01
+
+
+class EncryptedAvgReply(_EstimateEnvelope):
+    """Pull half of one encrypted push-pull averaging exchange."""
+
+    TYPE: ClassVar[int] = 0x02
+
+
+@dataclass(frozen=True)
+class _DiptychEnvelope(WireMessage):
+    """Shared body codec of the diptych exchange/reply pair."""
+
+    iteration: int
+    data_estimates: tuple[EncryptedEstimate, ...]
+    noise_estimates: tuple[EncryptedEstimate, ...]
+    ciphertext_bytes: int
+
+    def _write_body(self, out: bytearray) -> None:
+        if len(self.data_estimates) != len(self.noise_estimates):
+            raise WireFormatError(
+                "a diptych message carries one noise estimate per data estimate"
+            )
+        if len(self.data_estimates) > _MAX_ESTIMATES:
+            raise WireFormatError("too many estimates for one diptych frame")
+        _write_width(out, self.ciphertext_bytes)
+        write_varint(out, _check_field(self.iteration, _MAX_ITERATION, "iteration"))
+        write_varint(out, len(self.data_estimates))
+        for estimate in self.data_estimates:
+            _write_estimate(out, estimate, self.ciphertext_bytes)
+        for estimate in self.noise_estimates:
+            _write_estimate(out, estimate, self.ciphertext_bytes)
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "_DiptychEnvelope":
+        width = _read_width(reader)
+        iteration = reader.read_varint(limit=_MAX_ITERATION)
+        count = reader.read_varint(limit=_MAX_ESTIMATES)
+        data = tuple(_read_estimate(reader, width) for _ in range(count))
+        noise = tuple(_read_estimate(reader, width) for _ in range(count))
+        return cls(iteration=iteration, data_estimates=data,
+                   noise_estimates=noise, ciphertext_bytes=width)
+
+
+class DiptychExchange(_DiptychEnvelope):
+    """A participant's full encrypted diptych, pushed to a gossip peer."""
+
+    TYPE: ClassVar[int] = 0x03
+
+
+class DiptychReply(_DiptychEnvelope):
+    """The pulled diptych a peer returns during one gossip exchange."""
+
+    TYPE: ClassVar[int] = 0x04
+
+
+@dataclass(frozen=True)
+class DecryptRequest(WireMessage):
+    """Ciphertexts sent to one committee member for partial decryption."""
+
+    estimates: tuple[EncryptedEstimate, ...]
+    ciphertext_bytes: int
+    TYPE: ClassVar[int] = 0x05
+
+    def _write_body(self, out: bytearray) -> None:
+        if len(self.estimates) > _MAX_ESTIMATES:
+            raise WireFormatError("too many estimates for one decryption frame")
+        _write_width(out, self.ciphertext_bytes)
+        write_varint(out, len(self.estimates))
+        for estimate in self.estimates:
+            _write_estimate(out, estimate, self.ciphertext_bytes)
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "DecryptRequest":
+        width = _read_width(reader)
+        count = reader.read_varint(limit=_MAX_ESTIMATES)
+        estimates = tuple(_read_estimate(reader, width) for _ in range(count))
+        return cls(estimates=estimates, ciphertext_bytes=width)
+
+
+@dataclass(frozen=True)
+class DecryptResponse(WireMessage):
+    """One committee member's partial decryptions of a request's estimates."""
+
+    partials: tuple  # of PartialVectorDecryption
+    ciphertext_bytes: int
+    TYPE: ClassVar[int] = 0x06
+
+    def _write_body(self, out: bytearray) -> None:
+        if len(self.partials) > _MAX_ESTIMATES:
+            raise WireFormatError("too many partials for one decryption frame")
+        _write_width(out, self.ciphertext_bytes)
+        write_varint(out, len(self.partials))
+        for partial in self.partials:
+            write_partial_decryption(out, partial, self.ciphertext_bytes)
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "DecryptResponse":
+        width = _read_width(reader)
+        count = reader.read_varint(limit=_MAX_ESTIMATES)
+        partials = tuple(read_partial_decryption(reader, width) for _ in range(count))
+        return cls(partials=partials, ciphertext_bytes=width)
+
+
+@dataclass(frozen=True)
+class _FloatVectorEnvelope(WireMessage):
+    """Shared body codec of the cleartext-avg request/reply pair."""
+
+    values: tuple[float, ...]
+
+    def _write_body(self, out: bytearray) -> None:
+        _write_float_vector(out, self.values)
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "_FloatVectorEnvelope":
+        return cls(values=_read_float_vector(reader))
+
+
+class GossipAvgRequest(_FloatVectorEnvelope):
+    """Push half of one cleartext push-pull averaging exchange."""
+
+    TYPE: ClassVar[int] = 0x07
+
+
+class GossipAvgReply(_FloatVectorEnvelope):
+    """Pull half of one cleartext push-pull averaging exchange."""
+
+    TYPE: ClassVar[int] = 0x08
+
+
+@dataclass(frozen=True)
+class PushSumMessage(WireMessage):
+    """Half of a push-sum node's (value, weight) mass, sent to a neighbour."""
+
+    values: tuple[float, ...]
+    weight: float
+    TYPE: ClassVar[int] = 0x09
+
+    def _write_body(self, out: bytearray) -> None:
+        _write_float_vector(out, self.values)
+        write_float(out, float(self.weight))
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "PushSumMessage":
+        values = _read_float_vector(reader)
+        return cls(values=values, weight=reader.read_float())
+
+
+@dataclass(frozen=True)
+class MembershipAnnouncement(WireMessage):
+    """A node announcing that it joined or left the overlay.
+
+    The cycle-driven simulation applies churn directly (no messages), but a
+    real deployment gossips join/leave events; the frame type exists so the
+    future socket runner and the corruption/loss scenarios can exercise
+    membership traffic through the same conformance-tested wire format.
+    """
+
+    node_id: int
+    online: bool
+    cycle: int
+    TYPE: ClassVar[int] = 0x0A
+
+    def _write_body(self, out: bytearray) -> None:
+        write_varint(out, _check_field(self.node_id, _MAX_ITERATION, "node_id"))
+        write_bool(out, self.online)
+        write_varint(out, _check_field(self.cycle, _MAX_ITERATION, "cycle"))
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "MembershipAnnouncement":
+        node_id = reader.read_varint(limit=_MAX_ITERATION)
+        online = reader.read_bool()
+        cycle = reader.read_varint(limit=_MAX_ITERATION)
+        return cls(node_id=node_id, online=online, cycle=cycle)
+
+
+@dataclass(frozen=True)
+class KeyAnnouncement(WireMessage):
+    """The threshold public key broadcast at protocol bootstrap.
+
+    Carries everything a joining participant needs to encrypt: the public
+    modulus *n*, the Damgård–Jurik degree *s*, and the committee parameters.
+    """
+
+    modulus: int
+    degree: int
+    threshold: int
+    n_shares: int
+    TYPE: ClassVar[int] = 0x0B
+
+    def _write_body(self, out: bytearray) -> None:
+        if self.modulus < 6:
+            raise WireFormatError(f"implausible public modulus {self.modulus}")
+        if self.degree < 1 or self.threshold < 1 or self.n_shares < self.threshold:
+            raise WireFormatError(
+                "inconsistent key announcement (degree/threshold/shares)"
+            )
+        write_bigint(out, self.modulus)
+        write_varint(out, _check_field(self.degree, _MAX_KEY_DEGREE, "degree"))
+        write_varint(out, _check_field(self.threshold, MAX_SHARE_INDEX, "threshold"))
+        write_varint(out, _check_field(self.n_shares, MAX_SHARE_INDEX, "n_shares"))
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "KeyAnnouncement":
+        modulus = reader.read_bigint()
+        degree = reader.read_varint(limit=_MAX_KEY_DEGREE)
+        threshold = reader.read_varint(limit=MAX_SHARE_INDEX)
+        n_shares = reader.read_varint(limit=MAX_SHARE_INDEX)
+        if modulus < 6:
+            raise WireFormatError(f"implausible public modulus {modulus}")
+        if degree < 1 or threshold < 1 or n_shares < threshold:
+            raise WireFormatError(
+                "inconsistent key announcement (degree/threshold/shares)"
+            )
+        return cls(modulus=modulus, degree=degree, threshold=threshold,
+                   n_shares=n_shares)
+
+
+#: Registry of every frame type, keyed by the type byte.
+MESSAGE_TYPES: dict[int, type[WireMessage]] = {
+    cls.TYPE: cls
+    for cls in (
+        EncryptedAvgRequest, EncryptedAvgReply,
+        DiptychExchange, DiptychReply,
+        DecryptRequest, DecryptResponse,
+        GossipAvgRequest, GossipAvgReply, PushSumMessage,
+        MembershipAnnouncement, KeyAnnouncement,
+    )
+}
+
+
+def deserialize(frame: bytes) -> WireMessage:
+    """Decode one framed message; raise :class:`WireFormatError` otherwise.
+
+    This is the single entry point transport code uses on received bytes;
+    it performs every structural check (magic, version, type, declared
+    length, CRC32, full-body consumption) before handing the body to the
+    message-specific decoder.
+    """
+    reader = WireReader(frame)
+    if len(frame) > MAX_FRAME_BYTES + FRAME_FIXED_OVERHEAD_BYTES + 5:
+        raise WireFormatError(f"frame of {len(frame)} bytes exceeds the wire limit")
+    if reader.read_bytes(2) != FRAME_MAGIC:
+        raise WireFormatError("bad frame magic")
+    version = reader.read_bytes(1)[0]
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+        )
+    type_byte = reader.read_bytes(1)[0]
+    message_cls = MESSAGE_TYPES.get(type_byte)
+    if message_cls is None:
+        raise WireFormatError(f"unknown message type 0x{type_byte:02x}")
+    body_length = reader.read_varint(limit=MAX_FRAME_BYTES)
+    if body_length + 4 != reader.remaining:
+        raise WireFormatError(
+            f"declared body of {body_length} bytes does not match the frame "
+            f"({reader.remaining - 4} bytes before the checksum)"
+        )
+    checksum = int.from_bytes(frame[-4:], "big")
+    if zlib.crc32(frame[:-4]) != checksum:
+        raise WireFormatError("frame checksum mismatch (corrupted frame)")
+    message = message_cls._read_body(reader)
+    if reader.remaining != 4:
+        raise WireFormatError(
+            f"{reader.remaining - 4} trailing bytes after the message body"
+        )
+    return message

@@ -17,6 +17,7 @@ cycle.  :class:`CycleEngine` reproduces that model:
 from __future__ import annotations
 
 from bisect import bisect_left
+from dataclasses import replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -45,6 +46,10 @@ class CycleEngine:
         Per-cycle probability that an offline node comes back online.
     drop_probability:
         Per-message loss probability of the network.
+    corruption_rate:
+        Per-frame probability that a delivered wire frame has one random
+        bit flipped (see :meth:`Network.maybe_corrupt`); only byte-frame
+        traffic sent through :meth:`transmit` can be corrupted.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class CycleEngine:
         churn_rate: float = 0.0,
         rejoin_rate: float = 0.5,
         drop_probability: float = 0.0,
+        corruption_rate: float = 0.0,
     ) -> None:
         if not nodes:
             raise SimulationError("the engine needs at least one node")
@@ -68,6 +74,8 @@ class CycleEngine:
             n_nodes=len(self.nodes),
             drop_probability=drop_probability,
             rng=self.rng_registry.stream("network.drops"),
+            corruption_probability=corruption_rate,
+            corruption_rng=self.rng_registry.stream("network.corruption"),
         )
         self.observers: list[Observer] = []
         self.current_cycle = -1
@@ -158,6 +166,36 @@ class CycleEngine:
             return False
         recipient_node.receive(self, message)
         return True
+
+    def transmit(self, sender: int, recipient: int, kind: str, frame: bytes,
+                 modelled_bytes: int | None = None) -> bytes | None:
+        """Send a serialized wire frame; return the bytes as received.
+
+        This is the byte-accurate counterpart of :meth:`send`: the payload
+        is an opaque frame, ``size_bytes`` is its measured length, and the
+        returned value is what the recipient actually got — ``None`` when
+        the network dropped the frame or the recipient is offline, the
+        (possibly bit-flipped, when the corruption fault model is active)
+        frame bytes otherwise.  *modelled_bytes* optionally records what the
+        historical size formula would have charged, feeding the
+        measured-vs-modelled byte accounting.
+        """
+        if not isinstance(frame, (bytes, bytearray)):
+            raise SimulationError("transmit() carries serialized byte frames only")
+        frame = bytes(frame)
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind, payload=frame,
+            size_bytes=len(frame), modelled_bytes=modelled_bytes,
+        )
+        delivered = self.network.send(message)
+        recipient_node = self.node(recipient)
+        if not delivered or not recipient_node.online:
+            return None
+        received = self.network.maybe_corrupt(frame, sender=sender)
+        if received is not frame:
+            message = replace(message, payload=received)
+        recipient_node.receive(self, message)
+        return received
 
     # ------------------------------------------------------------------ observers
     def add_observer(self, observer: Observer) -> None:

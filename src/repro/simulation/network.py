@@ -22,8 +22,12 @@ from ..exceptions import SimulationError
 class Message:
     """One point-to-point message.
 
-    ``size_bytes`` is declared by the sender (the protocol layer knows how
-    many ciphertexts / floats it serialises); the network only accounts it.
+    ``size_bytes`` is declared by the sender; with the wire format enabled
+    it is the *measured* length of the serialized frame carried in
+    ``payload``, otherwise the modelled size the protocol layer computed.
+    ``modelled_bytes`` optionally carries the modelled size alongside a
+    measured frame, so the cost analysis can report measured-vs-modelled
+    byte accounting; it defaults to ``size_bytes``.
     """
 
     sender: int
@@ -31,20 +35,34 @@ class Message:
     kind: str
     payload: Any
     size_bytes: int = 0
+    modelled_bytes: int | None = None
 
     def __post_init__(self) -> None:
         check_non_negative_int(self.size_bytes, "size_bytes")
+        if self.modelled_bytes is None:
+            object.__setattr__(self, "modelled_bytes", self.size_bytes)
+        else:
+            check_non_negative_int(self.modelled_bytes, "modelled_bytes")
 
 
 @dataclass
 class TrafficStats:
-    """Traffic counters for one node (or aggregated over all nodes)."""
+    """Traffic counters for one node (or aggregated over all nodes).
+
+    ``bytes_sent`` accounts what actually crossed the (simulated) network —
+    measured frame lengths when the wire format is on, modelled sizes
+    otherwise.  ``bytes_modelled`` always accumulates the modelled sizes, so
+    the two columns coincide with the wire format off and diverge by exactly
+    the framing overhead with it on.
+    """
 
     messages_sent: int = 0
     messages_received: int = 0
     messages_dropped: int = 0
+    messages_corrupted: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    bytes_modelled: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain dictionary view."""
@@ -52,8 +70,48 @@ class TrafficStats:
             "messages_sent": self.messages_sent,
             "messages_received": self.messages_received,
             "messages_dropped": self.messages_dropped,
+            "messages_corrupted": self.messages_corrupted,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "bytes_modelled": self.bytes_modelled,
+        }
+
+
+@dataclass(frozen=True)
+class ByteAccounting:
+    """Measured-vs-modelled byte totals of a run (or of a workload model).
+
+    ``bytes_modelled`` is what the historical size formula charges;
+    ``bytes_measured`` is what actually crossed the network as serialized
+    frames (or a model's prediction of it).  The gap is the wire-format
+    framing overhead.  Lives next to :class:`TrafficStats`, which it
+    summarises; re-exported by :mod:`repro.analysis.costs` for reports.
+    """
+
+    bytes_modelled: float
+    bytes_measured: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative overhead of measured over modelled bytes (0 when unknown)."""
+        if self.bytes_modelled <= 0:
+            return 0.0
+        return (self.bytes_measured - self.bytes_modelled) / self.bytes_modelled
+
+    @classmethod
+    def from_traffic(cls, stats: TrafficStats) -> "ByteAccounting":
+        """Build from one node's (or the global) traffic counters."""
+        return cls(
+            bytes_modelled=float(stats.bytes_modelled),
+            bytes_measured=float(stats.bytes_sent),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dictionary view (for reports)."""
+        return {
+            "bytes_modelled": self.bytes_modelled,
+            "bytes_measured": self.bytes_measured,
+            "overhead_fraction": self.overhead_fraction,
         }
 
 
@@ -68,6 +126,13 @@ class Network:
         Probability that any given message is silently lost.
     rng:
         Random stream used for message drops.
+    corruption_probability:
+        Probability that a *delivered* byte-frame payload has one random
+        bit flipped in transit (the corruption fault model; only byte
+        payloads can be corrupted).
+    corruption_rng:
+        Random stream used for corruption draws (kept separate from the
+        drop stream so enabling one fault model never shifts the other).
     """
 
     def __init__(
@@ -75,12 +140,20 @@ class Network:
         n_nodes: int,
         drop_probability: float = 0.0,
         rng: np.random.Generator | None = None,
+        corruption_probability: float = 0.0,
+        corruption_rng: np.random.Generator | None = None,
     ) -> None:
         if n_nodes <= 0:
             raise SimulationError(f"n_nodes must be > 0, got {n_nodes}")
         self.n_nodes = n_nodes
         self.drop_probability = check_probability(drop_probability, "drop_probability")
+        self.corruption_probability = check_probability(
+            corruption_probability, "corruption_probability"
+        )
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._corruption_rng = (
+            corruption_rng if corruption_rng is not None else np.random.default_rng(1)
+        )
         self._per_node: list[TrafficStats] = [TrafficStats() for _ in range(n_nodes)]
         self.total = TrafficStats()
 
@@ -97,10 +170,13 @@ class Network:
         self._check_node(message.sender)
         self._check_node(message.recipient)
         sender_stats = self._per_node[message.sender]
+        modelled = int(message.modelled_bytes or 0)
         sender_stats.messages_sent += 1
         sender_stats.bytes_sent += message.size_bytes
+        sender_stats.bytes_modelled += modelled
         self.total.messages_sent += 1
         self.total.bytes_sent += message.size_bytes
+        self.total.bytes_modelled += modelled
         if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
             sender_stats.messages_dropped += 1
             self.total.messages_dropped += 1
@@ -111,6 +187,27 @@ class Network:
         self.total.messages_received += 1
         self.total.bytes_received += message.size_bytes
         return True
+
+    def maybe_corrupt(self, payload: bytes, sender: int | None = None) -> bytes:
+        """Apply the corruption fault model to a delivered byte payload.
+
+        With probability ``corruption_probability`` one uniformly random bit
+        of *payload* is flipped (a checksummed wire frame then fails to
+        decode).  No randomness is consumed when the model is disabled or
+        the payload is empty, so enabling corruption never perturbs runs
+        that do not use it.
+        """
+        if self.corruption_probability <= 0 or not payload:
+            return payload
+        if self._corruption_rng.random() >= self.corruption_probability:
+            return payload
+        corrupted = bytearray(payload)
+        position = int(self._corruption_rng.integers(0, len(corrupted) * 8))
+        corrupted[position // 8] ^= 1 << (position % 8)
+        if sender is not None:
+            self._per_node[sender].messages_corrupted += 1
+        self.total.messages_corrupted += 1
+        return bytes(corrupted)
 
     def stats_for(self, node_id: int) -> TrafficStats:
         """Traffic counters of one node."""

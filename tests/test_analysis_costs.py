@@ -90,3 +90,61 @@ class TestCostModel:
         estimate = CostModel(profile).estimate(workload)
         # 10 iterations * 2*5*49 encryptions * 10 ms each = 49 s of encryption time.
         assert estimate.encryption_seconds == pytest.approx(10 * 2 * 5 * 49 * 0.01)
+
+
+class TestByteAccounting:
+    def test_modelled_bytes_match_cost_model(self, measured_profile, workload):
+        estimate = CostModel(measured_profile).estimate(workload)
+        per_iteration = workload.modelled_bytes_per_iteration(
+            measured_profile.ciphertext_bytes
+        )
+        assert estimate.bytes_sent == workload.iterations * per_iteration
+
+    def test_wire_bytes_exceed_modelled_by_frame_overhead(self, workload):
+        modelled = workload.modelled_bytes_per_iteration(512)
+        wired = workload.wire_bytes_per_iteration(512)
+        assert wired > modelled
+        # The overhead is exactly the per-message/per-estimate constants.
+        from repro.analysis.costs import (
+            WIRE_ESTIMATE_OVERHEAD_BYTES,
+            WIRE_FRAME_OVERHEAD_BYTES,
+        )
+        gossip_messages = 2 * workload.gossip_cycles * workload.exchanges_per_cycle
+        decrypt_messages = 2 * workload.threshold
+        expected = (
+            (gossip_messages + decrypt_messages) * WIRE_FRAME_OVERHEAD_BYTES
+            + (2 * gossip_messages + decrypt_messages)
+            * workload.n_clusters * WIRE_ESTIMATE_OVERHEAD_BYTES
+        )
+        assert wired - modelled == expected
+
+    def test_byte_accounting_totals(self, workload):
+        from repro.analysis import ByteAccounting
+
+        accounting = workload.byte_accounting(512)
+        assert isinstance(accounting, ByteAccounting)
+        assert accounting.bytes_modelled == (
+            workload.iterations * workload.modelled_bytes_per_iteration(512)
+        )
+        assert accounting.bytes_measured == (
+            workload.iterations * workload.wire_bytes_per_iteration(512)
+        )
+        assert 0 < accounting.overhead_fraction < 0.10
+        as_dict = accounting.as_dict()
+        assert set(as_dict) == {"bytes_modelled", "bytes_measured",
+                                "overhead_fraction"}
+
+    def test_overhead_fraction_zero_when_unknown(self):
+        from repro.analysis import ByteAccounting
+
+        assert ByteAccounting(0.0, 100.0).overhead_fraction == 0.0
+
+    def test_from_traffic(self):
+        from repro.analysis import ByteAccounting
+        from repro.simulation.network import TrafficStats
+
+        stats = TrafficStats(bytes_sent=1050, bytes_modelled=1000)
+        accounting = ByteAccounting.from_traffic(stats)
+        assert accounting.bytes_measured == 1050.0
+        assert accounting.bytes_modelled == 1000.0
+        assert accounting.overhead_fraction == pytest.approx(0.05)

@@ -123,6 +123,7 @@ class TestAggregateConfig:
         description = ChiaroscuroConfig().describe()
         assert set(description) == {
             "kmeans", "privacy", "crypto", "gossip", "simulation", "smoothing",
+            "network",
         }
         assert description["privacy"]["epsilon"] == 1.0
 

@@ -111,7 +111,8 @@ class TestNetwork:
         network = Network(1)
         assert set(network.total.as_dict()) == {
             "messages_sent", "messages_received", "messages_dropped",
-            "bytes_sent", "bytes_received",
+            "messages_corrupted", "bytes_sent", "bytes_received",
+            "bytes_modelled",
         }
 
 
@@ -303,3 +304,53 @@ class TestOnlineIndex:
 
         for churn, rejoin in ((0.2, 0.5), (0.3, 0.0), (0.0, 0.5)):
             assert run_with(churn, rejoin, seed=11) == run_reference(churn, rejoin, seed=11)
+
+
+class TestCorruptionFaultModel:
+    def test_disabled_model_is_identity_and_consumes_no_randomness(self):
+        rng = np.random.default_rng(3)
+        state_before = rng.bit_generator.state
+        network = Network(2, corruption_probability=0.0, corruption_rng=rng)
+        payload = b"\x00" * 32
+        assert network.maybe_corrupt(payload) is payload
+        assert rng.bit_generator.state == state_before
+        assert network.total.messages_corrupted == 0
+
+    def test_certain_corruption_flips_exactly_one_bit(self):
+        network = Network(
+            3, corruption_probability=1.0,
+            corruption_rng=np.random.default_rng(4),
+        )
+        payload = bytes(range(64))
+        corrupted = network.maybe_corrupt(payload, sender=1)
+        assert corrupted != payload
+        assert len(corrupted) == len(payload)
+        flipped_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(payload, corrupted)
+        )
+        assert flipped_bits == 1
+        assert network.total.messages_corrupted == 1
+        assert network.stats_for(1).messages_corrupted == 1
+        assert network.stats_for(0).messages_corrupted == 0
+
+    def test_engine_transmit_applies_corruption(self):
+        received_payloads = []
+
+        class Recorder(CountingNode):
+            def receive(self, engine, message):
+                received_payloads.append(message.payload)
+
+        nodes = [Recorder(0), Recorder(1)]
+        engine = CycleEngine(nodes, seed=0, corruption_rate=1.0)
+        frame = b"\xAA" * 16
+        received = engine.transmit(0, 1, "test", frame, modelled_bytes=10)
+        assert received is not None and received != frame
+        assert received_payloads == [received]
+        assert engine.network.total.messages_corrupted == 1
+        assert engine.network.total.bytes_sent == len(frame)
+        assert engine.network.total.bytes_modelled == 10
+
+    def test_transmit_rejects_non_bytes(self):
+        engine = CycleEngine([CountingNode(0), CountingNode(1)], seed=0)
+        with pytest.raises(SimulationError):
+            engine.transmit(0, 1, "test", "not a frame")  # type: ignore[arg-type]

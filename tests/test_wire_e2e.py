@@ -1,0 +1,247 @@
+"""End-to-end guarantees of the wire format inside the full protocol.
+
+* a complete run with ``network.wire="auto"`` is bit-identical (profiles,
+  assignments, execution log, operation counts) to ``wire="off"``, while
+  ``bytes_sent`` switches from the modelled formula to measured frame
+  lengths — within 5% of the model on the default scenario;
+* the cleartext gossip protocols are bit-identical over the wire;
+* the corruption fault model degrades but never crashes a run, and every
+  undecodable frame is contained as a :class:`WireFormatError`-mediated
+  loss;
+* forwarded gossip ciphertexts are re-randomized per hop: what travels
+  differs from what is stored, yet decrypts identically (unlinkability);
+* the fastmath-aware cost sweep measures both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep_crypto_costs
+from repro.config import ChiaroscuroConfig
+from repro.core import run_chiaroscuro
+from repro.exceptions import ConfigurationError
+from repro.gossip import (
+    build_overlay,
+    deserialize,
+    encrypted_gossip_average,
+    gossip_average,
+)
+from repro.gossip.encrypted_sum import (
+    EncryptedAveragingNode,
+    decode_estimate,
+    fresh_estimate,
+    rerandomize_estimate,
+)
+from repro.simulation import CycleEngine
+
+
+@pytest.fixture(scope="module")
+def wire_runs(small_collection, fast_config):
+    """One protocol run per wire mode on the default (fault-free) scenario."""
+    auto = run_chiaroscuro(small_collection, fast_config)
+    off = run_chiaroscuro(
+        small_collection, fast_config.with_overrides(network={"wire": "off"})
+    )
+    return auto, off
+
+
+class TestWireEquivalence:
+    def test_results_bit_identical(self, wire_runs):
+        auto, off = wire_runs
+        assert np.array_equal(auto.profiles, off.profiles)
+        assert np.array_equal(auto.assignments, off.assignments)
+        assert auto.n_iterations == off.n_iterations
+        assert auto.stop_reasons == off.stop_reasons
+        assert auto.epsilon_spent == off.epsilon_spent
+        for node_id in auto.per_participant_profiles:
+            assert np.array_equal(
+                auto.per_participant_profiles[node_id],
+                off.per_participant_profiles[node_id],
+            )
+
+    def test_execution_logs_identical_apart_from_measured_bytes(self, wire_runs):
+        auto, off = wire_runs
+        records_auto, records_off = list(auto.log), list(off.log)
+        assert len(records_auto) == len(records_off)
+        for record_a, record_o in zip(records_auto, records_off):
+            assert record_a.iteration == record_o.iteration
+            assert record_a.epsilon_spent == record_o.epsilon_spent
+            assert record_a.displacement == record_o.displacement
+            assert np.array_equal(record_a.centroids_before, record_o.centroids_before)
+            assert np.array_equal(record_a.perturbed_means, record_o.perturbed_means)
+            assert np.array_equal(record_a.noise_free_means, record_o.noise_free_means)
+            assert record_a.tracked_assignments == record_o.tracked_assignments
+            costs_a = {k: v for k, v in record_a.costs.items() if k != "bytes_sent"}
+            costs_o = {k: v for k, v in record_o.costs.items() if k != "bytes_sent"}
+            assert costs_a == costs_o
+
+    def test_bytes_switch_from_modelled_to_measured(self, wire_runs):
+        auto, off = wire_runs
+        # Off: the network accounted the modelled formula, both columns agree.
+        assert off.costs.bytes_sent == off.costs.bytes_sent_modelled
+        # Auto: measured frame bytes, with the modelled figure still reported.
+        assert auto.costs.bytes_sent_modelled == off.costs.bytes_sent
+        assert auto.costs.bytes_sent > auto.costs.bytes_sent_modelled
+        assert auto.costs.wire == "auto"
+        assert off.costs.wire == "off"
+        assert auto.costs.messages_sent == off.costs.messages_sent
+
+    def test_measured_within_five_percent_of_modelled(self, wire_runs):
+        auto, _ = wire_runs
+        assert 0.0 < auto.costs.wire_overhead_fraction < 0.05
+        accounting = auto.costs.byte_accounting
+        assert accounting.bytes_measured == auto.costs.bytes_sent
+        assert accounting.bytes_modelled == auto.costs.bytes_sent_modelled
+        assert accounting.overhead_fraction == auto.costs.wire_overhead_fraction
+
+    def test_wire_metadata_recorded(self, wire_runs):
+        auto, off = wire_runs
+        assert auto.metadata["wire"] == {"mode": "auto", "corruption_rate": 0.0}
+        assert off.metadata["wire"]["mode"] == "off"
+
+
+class TestCleartextGossipEquivalence:
+    def test_push_pull_bit_identical(self):
+        values = np.random.default_rng(5).normal(size=(16, 6))
+        on = gossip_average(values, cycles=8, seed=2, wire="auto")
+        off = gossip_average(values, cycles=8, seed=2, wire="off")
+        assert np.array_equal(on, off)
+
+    def test_push_sum_bit_identical(self):
+        values = np.random.default_rng(6).normal(size=(12, 4))
+        on = gossip_average(values, cycles=8, seed=3, protocol="push_sum", wire="auto")
+        off = gossip_average(values, cycles=8, seed=3, protocol="push_sum", wire="off")
+        assert np.array_equal(on, off)
+
+    def test_encrypted_average_identical(self, plain_backend):
+        values = np.random.default_rng(7).uniform(0, 1, size=(10, 5))
+        on = encrypted_gossip_average(plain_backend, values, cycles=4, seed=4,
+                                      wire="auto")
+        off = encrypted_gossip_average(plain_backend, values, cycles=4, seed=4,
+                                       wire="off")
+        assert np.array_equal(on, off)
+
+
+class TestCorruptionScenarios:
+    def test_protocol_survives_heavy_corruption(self, small_collection, fast_config):
+        config = fast_config.with_overrides(network={"corruption_rate": 0.25})
+        result = run_chiaroscuro(small_collection, config)
+        # The run completes and still clusters; corruption degraded delivery.
+        assert result.profiles.shape[0] == config.kmeans.n_clusters
+        assert result.n_iterations >= 1
+
+    def test_corrupted_frames_are_counted_and_contained(self):
+        from repro.gossip.protocol import PushPullAveragingNode
+
+        values = np.random.default_rng(8).normal(size=(6, 4))
+        overlay = build_overlay(6, topology="complete", seed=5)
+        nodes = [PushPullAveragingNode(i, values[i], overlay, wire=True)
+                 for i in range(6)]
+        engine = CycleEngine(nodes, seed=5, corruption_rate=1.0)
+        engine.run(3)
+        # Every frame was corrupted: counted, rejected by the decoder, and
+        # no exchange ever completed — estimates stay exactly the initial
+        # values instead of silently averaging damaged payloads.
+        assert engine.network.total.messages_corrupted > 0
+        assert engine.network.total.messages_corrupted <= \
+            engine.network.total.messages_sent
+        for node in nodes:
+            assert node.exchanges_done == 0
+            assert np.array_equal(node.estimate, values[node.node_id])
+
+    def test_push_sum_conserves_mass_under_corruption(self):
+        values = np.random.default_rng(9).normal(size=(12, 3))
+        estimates = gossip_average(values, cycles=12, seed=6, protocol="push_sum",
+                                   wire="auto", corruption_rate=0.3)
+        # Mass conservation: estimates still converge towards the average.
+        assert np.all(np.isfinite(estimates))
+
+    def test_corruption_requires_wire(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(
+                network={"wire": "off", "corruption_rate": 0.1}
+            )
+
+
+class TestPerHopRerandomization:
+    def test_rerandomized_estimate_differs_but_decrypts_identically(self, dj_backend):
+        values = np.array([0.25, -0.75, 0.5])
+        estimate = fresh_estimate(dj_backend, values)
+        forwarded = rerandomize_estimate(dj_backend, estimate)
+        assert forwarded.vector.payload != estimate.vector.payload
+        assert forwarded.halvings == estimate.halvings
+        shares = [1, 2]
+        assert np.array_equal(
+            decode_estimate(dj_backend, estimate, shares),
+            decode_estimate(dj_backend, forwarded, shares),
+        )
+
+    def test_forwarded_frames_are_unlinkable(self, dj_backend):
+        """What crosses the wire differs from what either node stores."""
+        values = np.array([[0.5, 0.1], [0.3, 0.7]])
+        overlay = build_overlay(2, topology="complete", seed=0)
+        nodes = [
+            EncryptedAveragingNode(i, dj_backend, values[i], overlay, wire=True)
+            for i in range(2)
+        ]
+        engine = CycleEngine(nodes, seed=0)
+        before = {node.node_id: node.estimate for node in nodes}
+        captured = []
+        original_transmit = engine.transmit
+
+        def spy(sender, recipient, kind, frame, modelled_bytes=None):
+            captured.append((sender, kind, frame))
+            return original_transmit(sender, recipient, kind, frame,
+                                     modelled_bytes=modelled_bytes)
+
+        engine.transmit = spy
+        nodes[0].next_cycle(engine, 0)  # one full request/reply exchange
+        assert [kind for _, kind, _ in captured] == [
+            "encrypted-avg-request", "encrypted-avg-reply",
+        ]
+        shares = [1, 2]
+        for sender, _, frame in captured:
+            travelled = deserialize(frame).estimate
+            stored = before[sender]
+            assert travelled.vector.payload != stored.vector.payload
+            assert np.array_equal(
+                decode_estimate(dj_backend, travelled, shares),
+                decode_estimate(dj_backend, stored, shares),
+            )
+
+    def test_protocol_run_rerandomizes_forwards(self, small_collection, fast_config):
+        result = run_chiaroscuro(small_collection, fast_config)
+        totals = result.log.total_costs()
+        assert totals.get("rerandomizations", 0) > 0
+
+
+class TestFastmathSweep:
+    @pytest.mark.parametrize("mode", ["auto", "off"])
+    def test_measure_smoke_per_mode(self, mode):
+        from repro.analysis import measure_crypto_costs
+
+        profile = measure_crypto_costs(key_bits=128, repetitions=1, fastmath=mode)
+        assert profile.fastmath == mode
+        assert profile.encryption_seconds > 0
+
+    def test_sweep_measures_both_modes(self):
+        profiles = sweep_crypto_costs(key_bits=128, repetitions=1)
+        assert set(profiles) == {"auto", "off"}
+        assert profiles["off"].pooled_encryption_seconds == 0.0
+        assert profiles["auto"].pooled_encryption_seconds > 0.0
+
+    def test_cli_sweep_screen(self, capsys):
+        from repro.cli import main
+
+        exit_code = main([
+            "crypto-bench", "--key-bits", "128", "--repetitions", "1",
+            "--fastmath", "sweep", "--populations", "1000", "--json",
+        ])
+        assert exit_code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["profiles"]) == {"auto", "off"}
+        assert set(payload["rows"]) == {"auto", "off"}

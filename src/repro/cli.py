@@ -67,6 +67,12 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
                 "fastmath": args.fastmath},
         simulation={"n_participants": args.participants, "seed": args.seed},
         network={"wire": args.wire, "corruption_rate": args.corruption_rate},
+        runtime={
+            "mode": "live" if args.live else "cycle",
+            "processes": args.processes,
+            "base_port": args.live_port,
+            "run_timeout": args.live_timeout,
+        },
     )
 
 
@@ -101,6 +107,16 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--corruption-rate", type=float, default=0.0,
                         help="probability that a delivered wire frame has one bit "
                              "flipped in transit (requires --wire auto)")
+    parser.add_argument("--live", action="store_true",
+                        help="run over real TCP sockets between worker processes "
+                             "(the live runner) instead of the in-process cycle "
+                             "simulation")
+    parser.add_argument("--processes", type=int, default=2,
+                        help="worker processes of the live runner (with --live)")
+    parser.add_argument("--live-port", type=int, default=0,
+                        help="first worker port of the live runner (0 = ephemeral)")
+    parser.add_argument("--live-timeout", type=float, default=300.0,
+                        help="hard wall-clock limit in seconds on a live run")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -116,6 +132,8 @@ def _command_run(args: argparse.Namespace) -> int:
             "guarantee": result.guarantee.as_dict(),
             "costs": result.costs.as_dict(),
         }
+        if "live" in result.metadata:
+            payload["live"] = result.metadata["live"]
         print(json.dumps(payload, indent=2))
         return 0
     print(format_table([result.summary()], title=f"Chiaroscuro run on {collection.name}"))

@@ -40,6 +40,10 @@ CRYPTO_BACKENDS = ("damgard_jurik", "paillier", "plain")
 #: Gossip overlay topologies.
 OVERLAY_TOPOLOGIES = ("complete", "random_regular", "small_world", "ring")
 
+#: Execution modes: the deterministic in-process cycle simulation, or the
+#: multi-process live runner moving wire frames over real TCP sockets.
+RUNTIME_MODES = ("cycle", "live")
+
 
 @dataclass(frozen=True)
 class KMeansConfig:
@@ -281,6 +285,62 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution-substrate parameters: cycle simulation vs live socket runner.
+
+    Attributes
+    ----------
+    mode:
+        ``"cycle"`` (default) runs every participant in one process under
+        the deterministic :class:`~repro.simulation.engine.CycleEngine`.
+        ``"live"`` spawns ``processes`` OS worker processes, each hosting a
+        shard of the participants, and runs the protocol by moving the
+        serialized wire frames over real asyncio TCP sockets (see
+        :mod:`repro.net.live`).  Live mode requires the wire format
+        (``network.wire="auto"``) and currently supports only the fault-free
+        configuration (no churn, drops or corruption; see the README's
+        "Live runner" caveats).
+    processes:
+        Number of worker processes of the live runner.
+    host:
+        Interface the workers bind their peer servers to (loopback by
+        default; the runner is a single-machine harness, not a deployment).
+    base_port:
+        First port of the worker peer servers; ``0`` (default) lets the OS
+        pick ephemeral ports, which the membership bootstrap then announces.
+    connect_timeout:
+        Seconds a worker waits for a socket connection during bootstrap.
+    run_timeout:
+        Hard wall-clock limit in seconds on a whole live run; exceeding it
+        terminates the workers and raises a protocol error.
+    """
+
+    mode: str = "cycle"
+    processes: int = 2
+    host: str = "127.0.0.1"
+    base_port: int = 0
+    connect_timeout: float = 10.0
+    run_timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        check_in_choices(self.mode, RUNTIME_MODES, "mode")
+        check_positive_int(self.processes, "processes")
+        if not self.host:
+            raise ConfigurationError("runtime.host must not be empty")
+        check_non_negative_int(self.base_port, "base_port")
+        if self.base_port >= 1 << 16:
+            raise ConfigurationError(f"base_port {self.base_port} outside [0, 65536)")
+        # Worker i binds base_port + 1 + i, so the whole range must fit.
+        if self.base_port and self.base_port + self.processes >= 1 << 16:
+            raise ConfigurationError(
+                f"base_port {self.base_port} leaves no room for "
+                f"{self.processes} worker ports below 65536"
+            )
+        check_positive_float(self.connect_timeout, "connect_timeout")
+        check_positive_float(self.run_timeout, "run_timeout")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Population and fault-model parameters of the cycle-driven simulation.
 
@@ -359,8 +419,30 @@ class ChiaroscuroConfig:
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     smoothing: SmoothingConfig = field(default_factory=SmoothingConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
 
     def __post_init__(self) -> None:
+        if self.runtime.mode == "live":
+            if self.network.wire == "off":
+                raise ConfigurationError(
+                    "the live runner moves serialized frames over sockets and "
+                    "requires the wire format (set network.wire='auto')"
+                )
+            if self.simulation.churn_rate > 0:
+                raise ConfigurationError(
+                    "the live runner does not support churn yet "
+                    "(set simulation.churn_rate=0)"
+                )
+            if self.gossip.drop_probability > 0:
+                raise ConfigurationError(
+                    "the live runner does not support the loss fault model yet "
+                    "(set gossip.drop_probability=0)"
+                )
+            if self.network.corruption_rate > 0:
+                raise ConfigurationError(
+                    "the live runner does not support the corruption fault model "
+                    "yet (set network.corruption_rate=0)"
+                )
         if self.crypto.threshold > self.simulation.n_participants:
             raise ConfigurationError(
                 "decryption threshold cannot exceed the number of participants "
@@ -389,7 +471,7 @@ class ChiaroscuroConfig:
         """
         valid = {
             "kmeans", "privacy", "crypto", "gossip", "simulation", "smoothing",
-            "network",
+            "network", "runtime",
         }
         updates: dict[str, Any] = {}
         for section, fields_ in sections.items():
@@ -409,6 +491,7 @@ class ChiaroscuroConfig:
             "simulation": vars(self.simulation).copy(),
             "smoothing": vars(self.smoothing).copy(),
             "network": vars(self.network).copy(),
+            "runtime": vars(self.runtime).copy(),
         }
 
 

@@ -67,6 +67,67 @@ def share_index_of(node_id: int, n_shares: int) -> int | None:
     return None
 
 
+def build_decrypt_request(backend: CipherBackend,
+                          estimates: Sequence[EncryptedEstimate]) -> bytes:
+    """Serialize one committee decryption request frame.
+
+    The single frame-building site shared by the cycle engine's committee
+    round and the live runner's transport round, so the two execution modes
+    can never diverge in what they put on the wire.
+    """
+    from ..gossip.messages import DecryptRequest
+
+    width = wire_ciphertext_bytes(backend)
+    return DecryptRequest(
+        estimates=tuple(estimates), ciphertext_bytes=width
+    ).serialize()
+
+
+def decode_decrypt_response(frame: bytes, expected_partials: int):
+    """Decode a helper's response frame; ``None`` means "treat as a loss".
+
+    A frame that fails its checksum, decodes to a different message type,
+    or carries the wrong number of partial decryptions simply removes that
+    helper's contribution from the round — shared loss semantics of both
+    execution modes.
+    """
+    from ..gossip.messages import DecryptResponse, deserialize
+
+    try:
+        response = deserialize(frame)
+    except WireFormatError:
+        return None
+    if not isinstance(response, DecryptResponse):
+        return None
+    if len(response.partials) != expected_partials:
+        return None
+    return response.partials
+
+
+def build_decrypt_response(backend: CipherBackend, partials: tuple) -> bytes:
+    """Serialize one helper's partial-decryption response frame."""
+    from ..gossip.messages import DecryptResponse
+
+    width = wire_ciphertext_bytes(backend)
+    return DecryptResponse(partials=partials, ciphertext_bytes=width).serialize()
+
+
+def finalize_decryption(
+    backend: CipherBackend,
+    per_estimate: Sequence[Sequence[PartialVectorDecryption]],
+    estimates: Sequence[EncryptedEstimate],
+) -> list[np.ndarray]:
+    """Combine gathered partials and undo each estimate's public exponent.
+
+    Raises :class:`ThresholdError` (from the backend) when a round left
+    fewer than ``threshold`` distinct usable partials for some estimate.
+    """
+    return [
+        backend.combine_vector(partials) / float(1 << estimate.halvings)
+        for partials, estimate in zip(per_estimate, estimates)
+    ]
+
+
 def _online_helpers(engine: CycleEngine, backend: CipherBackend) -> tuple[int, ...]:
     """The decryption helpers for this cycle, or :class:`ThresholdError`."""
     online = set(engine.online_ids())
@@ -101,18 +162,13 @@ def _committee_round(
     bytes_transferred = 0
     request_frame = b""
     if wire:
-        from ..gossip.messages import DecryptRequest
-
-        width = wire_ciphertext_bytes(backend)
-        request_frame = DecryptRequest(
-            estimates=tuple(estimates), ciphertext_bytes=width
-        ).serialize()
+        request_frame = build_decrypt_request(backend, estimates)
     for helper_id in helpers:
         share_index = share_index_of(helper_id, backend.n_shares)
         if share_index is None:  # pragma: no cover - committee construction guarantees this
             raise ThresholdError(f"node {helper_id} holds no key share")
         if wire:
-            from ..gossip.messages import DecryptResponse, deserialize
+            from ..gossip.messages import deserialize
 
             received = engine.transmit(
                 requester_id, helper_id, "decrypt-request", request_frame,
@@ -133,9 +189,7 @@ def _committee_round(
                 backend.partial_decrypt_vector(share_index, estimate.vector)
                 for estimate in request.estimates
             )
-            response_frame = DecryptResponse(
-                partials=helper_partials, ciphertext_bytes=width
-            ).serialize()
+            response_frame = build_decrypt_response(backend, helper_partials)
             returned = engine.transmit(
                 helper_id, requester_id, "decrypt-response", response_frame,
                 modelled_bytes=modelled,
@@ -144,13 +198,10 @@ def _committee_round(
             bytes_transferred += len(response_frame)
             if returned is None:
                 returned = response_frame
-            try:
-                response = deserialize(returned)
-            except WireFormatError:
+            partials = decode_decrypt_response(returned, len(estimates))
+            if partials is None:
                 continue  # corrupted response: discard this helper's shares
-            if len(response.partials) != len(estimates):
-                continue
-            for position, partial in enumerate(response.partials):
+            for position, partial in enumerate(partials):
                 per_estimate_partials[position].append(partial)
         else:
             engine.send(requester_id, helper_id, "decrypt-request", None,
@@ -185,8 +236,7 @@ def collaborative_decrypt(
     per_estimate, helpers, messages, bytes_transferred = _committee_round(
         engine, requester_id, backend, [estimate], wire
     )
-    combined = backend.combine_vector(per_estimate[0])
-    values = combined / float(1 << estimate.halvings)
+    values = finalize_decryption(backend, per_estimate, [estimate])[0]
     return DecryptionOutcome(
         values=values,
         helpers=tuple(helpers),
@@ -231,10 +281,7 @@ def collaborative_decrypt_many(
     per_estimate, helpers, messages, bytes_transferred = _committee_round(
         engine, requester_id, backend, estimates, wire
     )
-    values = [
-        backend.combine_vector(partials) / float(1 << estimate.halvings)
-        for partials, estimate in zip(per_estimate, estimates)
-    ]
+    values = finalize_decryption(backend, per_estimate, estimates)
     return BatchDecryptionOutcome(
         values=values, helpers=helpers, messages=messages,
         bytes_transferred=bytes_transferred,

@@ -57,6 +57,40 @@ class Phase(enum.Enum):
     DONE = "done"
 
 
+def gossip_decision(peer: "ChiaroscuroParticipant", initiator_iteration: int) -> str:
+    """What one gossip attempt does, given the sampled peer's state.
+
+    Returns ``"sync"`` (adopt the finished peer's profiles), ``"adopt"``
+    (jump to the peer's more advanced iteration), ``"skip"`` (peer cannot
+    take part this cycle) or ``"merge"`` (run the pairwise exchange).  This
+    single predicate — including its evaluation order — is shared by the
+    cycle engine's gossip step (which reads the peer from shared memory)
+    and the live runner's probe handler (which answers over the socket), so
+    the two execution modes cannot diverge in the decision.
+    """
+    if peer.is_done and peer.final_profiles is not None:
+        return "sync"
+    if peer.iteration > initiator_iteration and not peer.is_done:
+        return "adopt"
+    if (
+        peer.phase is not Phase.GOSSIP
+        or peer.iteration != initiator_iteration
+        or peer.diptych is None
+    ):
+        return "skip"
+    return "merge"
+
+
+def peer_sampling_stream(node_id: int) -> str:
+    """Name of one participant's peer-sampling random stream.
+
+    Both the cycle engine's gossip step and the live runner's driver draw
+    this node's gossip peers from the stream registered under this name, so
+    the two execution modes consume identical peer-sampling randomness.
+    """
+    return f"chiaroscuro.peer_sampling.{node_id}"
+
+
 class ChiaroscuroParticipant(Node):
     """One simulated personal device participating in the clustering.
 
@@ -228,12 +262,27 @@ class ChiaroscuroParticipant(Node):
         self.phase = Phase.GOSSIP
 
     # -- Step 2a/2b: gossip computation (distributed) --------------------------------
-    def _adopt_iteration(self, peer: "ChiaroscuroParticipant") -> None:
-        """Late-participant synchronisation: jump to the peer's iteration."""
-        self.centroids = peer.centroids.copy()
-        self.iteration = peer.iteration - 1
+    def adopt_peer_state(self, centroids: np.ndarray, iteration: int) -> None:
+        """Late-participant synchronisation: jump to an observed iteration.
+
+        Shared by the cycle engine (which reads the peer's state directly)
+        and the live runner (which receives it in a gossip probe reply):
+        both modes must make this transition identically.
+        """
+        self.centroids = np.asarray(centroids, dtype=float).copy()
+        self.iteration = iteration - 1
         self.phase = Phase.ASSIGN
         self._assignment_step()
+
+    def synchronize_with_profiles(self, profiles: np.ndarray) -> None:
+        """Adopt a finished peer's profiles (the "late participants simply
+        synchronize" behaviour); shared by both execution modes."""
+        self.centroids = np.asarray(profiles, dtype=float).copy()
+        self._finish("synchronized")
+
+    def _adopt_iteration(self, peer: "ChiaroscuroParticipant") -> None:
+        """Late-participant synchronisation: jump to the peer's iteration."""
+        self.adopt_peer_state(peer.centroids, peer.iteration)
 
     def _forwarded_estimates(
         self, diptych: Diptych
@@ -308,7 +357,7 @@ class ChiaroscuroParticipant(Node):
     def _gossip_step(self, engine: CycleEngine) -> None:
         if self.diptych is None:  # pragma: no cover - state machine guarantees this
             raise ProtocolError("gossip phase reached without a diptych")
-        rng = engine.rng_registry.stream(f"chiaroscuro.peer_sampling.{self.node_id}")
+        rng = engine.rng_registry.stream(peer_sampling_stream(self.node_id))
         online = set(engine.online_ids())
         for _ in range(self.config.gossip.exchanges_per_cycle):
             peer_id = self.overlay.sample_neighbor(self.node_id, rng, online=online)
@@ -317,20 +366,17 @@ class ChiaroscuroParticipant(Node):
             peer = engine.node(peer_id)
             if not isinstance(peer, ChiaroscuroParticipant):
                 raise ProtocolError("gossip exchange with a non-Chiaroscuro node")
-            if peer.is_done and peer.final_profiles is not None:
-                # A finished peer already holds the converged profiles; adopting
-                # them is the "late participants simply synchronize" behaviour.
-                self.centroids = peer.final_profiles.copy()
-                self._finish("synchronized")
+            decision = gossip_decision(peer, self.iteration)
+            if decision == "sync":
+                # A finished peer already holds the converged profiles.
+                self.synchronize_with_profiles(peer.final_profiles)
                 return
-            if peer.iteration > self.iteration and not peer.is_done:
+            if decision == "adopt":
                 self._adopt_iteration(peer)
                 if self.phase is not Phase.GOSSIP:
                     return
                 continue
-            if peer.phase is not Phase.GOSSIP or peer.iteration != self.iteration:
-                continue
-            if peer.diptych is None:
+            if decision == "skip":
                 continue
             payload = sum(
                 estimate_payload_bytes(self.backend, estimate)
@@ -358,12 +404,18 @@ class ChiaroscuroParticipant(Node):
             self.phase = Phase.DECRYPT
 
     # -- Steps 2c/2d + 3: noise addition, decryption, convergence --------------------
+    def combined_estimate(self, cluster: int) -> EncryptedEstimate:
+        """One cluster's data estimate with its noise homomorphically added
+        (step 2c); shared by both execution modes' decrypt steps."""
+        return add_estimates(
+            self.backend,
+            self.diptych.data_estimates[cluster],
+            self.diptych.noise_estimates[cluster],
+        )
+
     def _decrypt_and_converge(self, engine: CycleEngine) -> None:
         if self.diptych is None:  # pragma: no cover - state machine guarantees this
             raise ProtocolError("decrypt phase reached without a diptych")
-        perturbed = np.empty((self.n_clusters, self.series_length))
-        counts = np.zeros(self.n_clusters)
-        min_count = 1.0 / (2.0 * max(1, engine.n_nodes))
         try:
             if self.backend.is_packed:
                 # Packed/batched mode: homomorphically add the noise to every
@@ -371,11 +423,7 @@ class ChiaroscuroParticipant(Node):
                 # committee round-trip (2·threshold messages instead of
                 # 2·threshold per cluster).
                 combined = [
-                    add_estimates(
-                        self.backend,
-                        self.diptych.data_estimates[cluster],
-                        self.diptych.noise_estimates[cluster],
-                    )
+                    self.combined_estimate(cluster)
                     for cluster in range(self.n_clusters)
                 ]
                 decrypted = collaborative_decrypt_many(
@@ -391,20 +439,31 @@ class ChiaroscuroParticipant(Node):
                 # exactly the operations the pre-packing code charged.
                 decrypted = []
                 for cluster in range(self.n_clusters):
-                    combined_estimate = add_estimates(
-                        self.backend,
-                        self.diptych.data_estimates[cluster],
-                        self.diptych.noise_estimates[cluster],
-                    )
                     decrypted.append(
                         collaborative_decrypt(
-                            engine, self.node_id, self.backend, combined_estimate,
+                            engine, self.node_id, self.backend,
+                            self.combined_estimate(cluster),
                             wire=self.wire_enabled,
                         ).values
                     )
         except ThresholdError:
             # Not enough decryption helpers online this cycle; retry later.
             return
+        self._converge_from_decrypted(decrypted, engine.n_nodes)
+
+    def _converge_from_decrypted(
+        self, decrypted: Sequence[np.ndarray], n_nodes: int
+    ) -> None:
+        """Rebuild, repair, smooth and adopt the perturbed means (step 3).
+
+        Everything after the collaborative decryption is local and
+        transport-independent; the live runner's driver calls this with the
+        values it decrypted over sockets, so both execution modes share one
+        convergence implementation.
+        """
+        perturbed = np.empty((self.n_clusters, self.series_length))
+        counts = np.zeros(self.n_clusters)
+        min_count = 1.0 / (2.0 * max(1, n_nodes))
         for cluster, values in enumerate(decrypted):
             average_sum = values[: self.series_length]
             average_count = float(values[self.series_length])

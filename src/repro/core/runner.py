@@ -10,7 +10,8 @@ the full execution log.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -92,6 +93,295 @@ def _packed_slot_bound(
     min_epsilon = strategy.minimum_iteration_epsilon()
     noise_bound = slot_magnitude_bound(sensitivity.laplace_scale(min_epsilon))
     return max(value_bound, 1.0, config.privacy.count_bound) + noise_bound
+
+
+@dataclass
+class RunSetup:
+    """Everything a run derives deterministically from (collection, config).
+
+    The cycle runner builds this once; every live-runner worker rebuilds the
+    cheap parts identically from the same inputs (data, overlay, centroids,
+    seeds) while inheriting the expensive/random part — the cipher backend
+    and its key material — from the coordinator process.  Keeping the whole
+    derivation in one place is what makes the two execution modes agree.
+    """
+
+    config: ChiaroscuroConfig
+    data: np.ndarray
+    transform: dict[str, float]
+    backend: CipherBackend
+    overlay: Any
+    initial_centroids: np.ndarray
+    noise_contributor_ids: set[int]
+    n_noise_contributors: int
+    participant_seeds: list[int]
+    tracked_ids: list[int]
+
+    @property
+    def n_participants(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def series_length(self) -> int:
+        return self.data.shape[1]
+
+    def packing_info(self) -> dict[str, Any]:
+        backend = self.backend
+        return {
+            "enabled": backend.is_packed,
+            "slots": backend.packing.slots if backend.packing is not None else 1,
+            "slot_bits": backend.packing.slot_bits if backend.packing is not None else 0,
+        }
+
+    def fastmath_info(self) -> dict[str, Any]:
+        return {
+            "mode": getattr(self.backend, "fastmath", "off"),
+            "pooled": getattr(self.backend, "fastmath_enabled", False),
+        }
+
+    def wire_info(self) -> dict[str, Any]:
+        return {
+            "mode": normalize_wire(self.config.network.wire),
+            "corruption_rate": self.config.network.corruption_rate,
+        }
+
+    def make_participant(self, node_id: int) -> ChiaroscuroParticipant:
+        """Instantiate one participant from the precomputed derivations."""
+        return ChiaroscuroParticipant(
+            node_id=node_id,
+            series_values=self.data[node_id],
+            initial_centroids=self.initial_centroids,
+            config=self.config,
+            backend=self.backend,
+            overlay=self.overlay,
+            noise_contributor=node_id in self.noise_contributor_ids,
+            n_noise_contributors=self.n_noise_contributors,
+            seed=self.participant_seeds[node_id],
+        )
+
+    def make_participants(self) -> list[ChiaroscuroParticipant]:
+        """Instantiate every participant (the cycle engine's population)."""
+        return [self.make_participant(node_id) for node_id in range(self.n_participants)]
+
+
+def build_run_setup(
+    collection: TimeSeriesCollection,
+    config: ChiaroscuroConfig,
+    normalize: bool = True,
+    n_tracked_participants: int = 4,
+) -> RunSetup:
+    """Derive a :class:`RunSetup` (backend, overlay, seeds) for one run.
+
+    The master-seed randomness is consumed in exactly the order the
+    historical inline code consumed it — noise-contributor choice, one seed
+    per participant, tracked-participant choice — so runs are bit-identical
+    to pre-refactor builds.
+    """
+    n_participants = len(collection)
+    if config.crypto.threshold > n_participants:
+        raise ConfigurationError(
+            "decryption threshold exceeds the number of participants "
+            f"({config.crypto.threshold} > {n_participants})"
+        )
+    if config.kmeans.n_clusters > n_participants:
+        raise ConfigurationError(
+            "cannot ask for more clusters than participants "
+            f"({config.kmeans.n_clusters} > {n_participants})"
+        )
+    value_bound = config.privacy.value_bound
+    if normalize:
+        data, transform = normalize_collection(collection, value_bound)
+    else:
+        data = np.clip(collection.to_matrix(), 0.0, value_bound)
+        transform = {"offset": 0.0, "scale": 1.0, "value_bound": value_bound}
+    n_participants, series_length = data.shape
+
+    # Each iteration performs at most ~2 * cycles averaging steps per estimate
+    # (own exchanges plus exchanges initiated by peers).
+    total_halvings = (
+        2 * config.gossip.cycles_per_aggregation * config.gossip.exchanges_per_cycle + 4
+    )
+    # Estimate halvings compound across merges (both parties adopt the same
+    # averaged estimate), empirically reaching ~6 per cycle in the worst
+    # lineage; the packed slot headroom must absorb that whole depth.
+    packed_halving_budget = (
+        6 * config.gossip.cycles_per_aggregation * config.gossip.exchanges_per_cycle + 16
+    )
+    backend = make_backend(
+        config.crypto.backend,
+        key_bits=config.crypto.key_bits,
+        degree=config.crypto.degree,
+        threshold=config.crypto.threshold,
+        n_shares=config.crypto.n_key_shares,
+        encoding_scale=config.crypto.encoding_scale,
+        packing=config.crypto.packing,
+        packing_value_bound=_packed_slot_bound(config, series_length, value_bound),
+        packing_weight_bits=packed_halving_budget,
+        fastmath=config.crypto.fastmath,
+    )
+    if hasattr(backend, "configure_pool"):
+        # Size the amortized blinder pool from the cost model's per-round
+        # encryption demand (deferred import: repro.analysis imports this
+        # module back for the quality comparisons).
+        from ..analysis.costs import ProtocolWorkload
+
+        demand = ProtocolWorkload(
+            n_clusters=config.kmeans.n_clusters,
+            series_length=series_length,
+            iterations=config.kmeans.max_iterations,
+            gossip_cycles=config.gossip.cycles_per_aggregation,
+            exchanges_per_cycle=config.gossip.exchanges_per_cycle,
+            threshold=config.crypto.threshold,
+            slots=backend.packing.slots if backend.packing is not None else 1,
+            amortized_encryptions=True,
+        )
+        backend.configure_pool(demand.encryptions_per_iteration)
+    check_headroom(
+        backend,
+        value_bound=max(value_bound, 1.0),
+        total_halvings=total_halvings,
+    )
+    overlay = build_overlay(
+        n_participants,
+        topology=config.gossip.topology,
+        degree=config.gossip.topology_degree,
+        rewiring_probability=config.gossip.rewiring_probability,
+        seed=config.simulation.seed,
+    )
+    initial_centroids = public_initial_centroids(
+        config.kmeans.n_clusters,
+        series_length,
+        value_low=0.0,
+        value_high=value_bound,
+        seed=config.simulation.seed,
+    )
+    master_rng = np.random.default_rng(config.simulation.seed)
+    n_noise_contributors = min(config.privacy.noise_shares, n_participants)
+    noise_contributor_ids = set(
+        master_rng.choice(n_participants, size=n_noise_contributors, replace=False).tolist()
+    )
+    participant_seeds = [
+        int(master_rng.integers(0, 2**31 - 1)) for _ in range(n_participants)
+    ]
+    tracked_ids = sorted(
+        master_rng.choice(
+            n_participants,
+            size=min(n_tracked_participants, n_participants),
+            replace=False,
+        ).tolist()
+    )
+    return RunSetup(
+        config=config,
+        data=data,
+        transform=transform,
+        backend=backend,
+        overlay=overlay,
+        initial_centroids=initial_centroids,
+        noise_contributor_ids=noise_contributor_ids,
+        n_noise_contributors=n_noise_contributors,
+        participant_seeds=participant_seeds,
+        tracked_ids=tracked_ids,
+    )
+
+
+@dataclass(frozen=True)
+class ParticipantOutcome:
+    """The per-participant facts both execution modes report identically."""
+
+    node_id: int
+    profiles: np.ndarray
+    stop_reason: str
+    spent_epsilon: float
+    iteration: int
+
+
+def outcome_of(participant: ChiaroscuroParticipant) -> ParticipantOutcome:
+    """Snapshot one participant's end-of-run outcome."""
+    profiles = (
+        participant.final_profiles
+        if participant.final_profiles is not None
+        else participant.centroids
+    )
+    return ParticipantOutcome(
+        node_id=participant.node_id,
+        profiles=profiles.copy(),
+        stop_reason=participant.stop_reason or "unfinished",
+        spent_epsilon=participant.accountant.spent_epsilon,
+        iteration=participant.iteration,
+    )
+
+
+def assemble_result(
+    setup: RunSetup,
+    collection_name: str,
+    outcomes: Sequence[ParticipantOutcome],
+    messages_sent: int,
+    bytes_sent: int,
+    bytes_modelled: int,
+    crypto_counts: dict[str, int],
+    log: ExecutionLog,
+    extra_metadata: dict[str, Any] | None = None,
+) -> ChiaroscuroResult:
+    """Build the :class:`ChiaroscuroResult` both execution modes return."""
+    ordered = sorted(outcomes, key=lambda outcome: outcome.node_id)
+    data = setup.data
+    profiles_stack = np.stack([outcome.profiles for outcome in ordered])
+    profiles = profiles_stack.mean(axis=0)
+    assignments = assign_to_centroids(data, profiles)
+    inertia = compute_inertia(data, profiles, assignments)
+    epsilon_spent = max(outcome.spent_epsilon for outcome in ordered)
+    n_iterations = max(outcome.iteration for outcome in ordered)
+    stop_reasons: dict[str, int] = {}
+    for outcome in ordered:
+        stop_reasons[outcome.stop_reason] = stop_reasons.get(outcome.stop_reason, 0) + 1
+    converged = any(
+        outcome.stop_reason in ("converged", "synchronized") for outcome in ordered
+    )
+    guarantee = guarantee_for_run(
+        epsilon=max(epsilon_spent, 1e-12),
+        cycles=setup.config.gossip.cycles_per_aggregation,
+        n_participants=setup.n_participants,
+    )
+    wire_info = setup.wire_info()
+    costs = CostSummary(
+        n_participants=setup.n_participants,
+        n_iterations=n_iterations,
+        messages_sent=messages_sent,
+        bytes_sent=bytes_sent,
+        encryptions=crypto_counts["encryptions"],
+        homomorphic_additions=crypto_counts["additions"],
+        partial_decryptions=crypto_counts["partial_decryptions"],
+        combinations=crypto_counts["combinations"],
+        bytes_sent_modelled=bytes_modelled,
+        wire=wire_info["mode"],
+    )
+    per_participant_profiles = {
+        outcome.node_id: outcome.profiles.copy() for outcome in ordered
+    }
+    metadata: dict[str, Any] = {
+        "normalization": setup.transform,
+        "tracked_participants": setup.tracked_ids,
+        "dataset": collection_name,
+        "packing": setup.packing_info(),
+        "fastmath": setup.fastmath_info(),
+        "wire": wire_info,
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return ChiaroscuroResult(
+        profiles=profiles,
+        assignments=assignments,
+        per_participant_profiles=per_participant_profiles,
+        inertia=inertia,
+        n_iterations=n_iterations,
+        converged=converged,
+        stop_reasons=stop_reasons,
+        epsilon_spent=epsilon_spent,
+        guarantee=guarantee,
+        costs=costs,
+        log=log,
+        metadata=metadata,
+    )
 
 
 class _RunObserver:
@@ -209,103 +499,23 @@ def run_chiaroscuro(
     ChiaroscuroResult
     """
     config = config if config is not None else ChiaroscuroConfig()
-    n_participants = len(collection)
-    if config.crypto.threshold > n_participants:
-        raise ConfigurationError(
-            "decryption threshold exceeds the number of participants "
-            f"({config.crypto.threshold} > {n_participants})"
-        )
-    if config.kmeans.n_clusters > n_participants:
-        raise ConfigurationError(
-            "cannot ask for more clusters than participants "
-            f"({config.kmeans.n_clusters} > {n_participants})"
-        )
-    value_bound = config.privacy.value_bound
-    if normalize:
-        data, transform = normalize_collection(collection, value_bound)
-    else:
-        data = np.clip(collection.to_matrix(), 0.0, value_bound)
-        transform = {"offset": 0.0, "scale": 1.0, "value_bound": value_bound}
-    n_participants, series_length = data.shape
+    if config.runtime.mode == "live":
+        # Deferred import: the live runner imports this module back for the
+        # shared setup/assembly helpers.
+        from ..net.live import run_live_chiaroscuro
 
-    # Each iteration performs at most ~2 * cycles averaging steps per estimate
-    # (own exchanges plus exchanges initiated by peers).
-    total_halvings = (
-        2 * config.gossip.cycles_per_aggregation * config.gossip.exchanges_per_cycle + 4
-    )
-    # Estimate halvings compound across merges (both parties adopt the same
-    # averaged estimate), empirically reaching ~6 per cycle in the worst
-    # lineage; the packed slot headroom must absorb that whole depth.
-    packed_halving_budget = (
-        6 * config.gossip.cycles_per_aggregation * config.gossip.exchanges_per_cycle + 16
-    )
-    backend = make_backend(
-        config.crypto.backend,
-        key_bits=config.crypto.key_bits,
-        degree=config.crypto.degree,
-        threshold=config.crypto.threshold,
-        n_shares=config.crypto.n_key_shares,
-        encoding_scale=config.crypto.encoding_scale,
-        packing=config.crypto.packing,
-        packing_value_bound=_packed_slot_bound(config, series_length, value_bound),
-        packing_weight_bits=packed_halving_budget,
-        fastmath=config.crypto.fastmath,
-    )
-    if hasattr(backend, "configure_pool"):
-        # Size the amortized blinder pool from the cost model's per-round
-        # encryption demand (deferred import: repro.analysis imports this
-        # module back for the quality comparisons).
-        from ..analysis.costs import ProtocolWorkload
-
-        demand = ProtocolWorkload(
-            n_clusters=config.kmeans.n_clusters,
-            series_length=series_length,
-            iterations=config.kmeans.max_iterations,
-            gossip_cycles=config.gossip.cycles_per_aggregation,
-            exchanges_per_cycle=config.gossip.exchanges_per_cycle,
-            threshold=config.crypto.threshold,
-            slots=backend.packing.slots if backend.packing is not None else 1,
-            amortized_encryptions=True,
+        return run_live_chiaroscuro(
+            collection,
+            config,
+            normalize=normalize,
+            n_tracked_participants=n_tracked_participants,
+            max_extra_cycles=max_extra_cycles,
         )
-        backend.configure_pool(demand.encryptions_per_iteration)
-    check_headroom(
-        backend,
-        value_bound=max(value_bound, 1.0),
-        total_halvings=total_halvings,
+    setup = build_run_setup(
+        collection, config, normalize=normalize,
+        n_tracked_participants=n_tracked_participants,
     )
-    overlay = build_overlay(
-        n_participants,
-        topology=config.gossip.topology,
-        degree=config.gossip.topology_degree,
-        rewiring_probability=config.gossip.rewiring_probability,
-        seed=config.simulation.seed,
-    )
-    initial_centroids = public_initial_centroids(
-        config.kmeans.n_clusters,
-        series_length,
-        value_low=0.0,
-        value_high=value_bound,
-        seed=config.simulation.seed,
-    )
-    master_rng = np.random.default_rng(config.simulation.seed)
-    n_noise_contributors = min(config.privacy.noise_shares, n_participants)
-    noise_contributor_ids = set(
-        master_rng.choice(n_participants, size=n_noise_contributors, replace=False).tolist()
-    )
-    participants = [
-        ChiaroscuroParticipant(
-            node_id=node_id,
-            series_values=data[node_id],
-            initial_centroids=initial_centroids,
-            config=config,
-            backend=backend,
-            overlay=overlay,
-            noise_contributor=node_id in noise_contributor_ids,
-            n_noise_contributors=n_noise_contributors,
-            seed=int(master_rng.integers(0, 2**31 - 1)),
-        )
-        for node_id in range(n_participants)
-    ]
+    participants = setup.make_participants()
     engine = CycleEngine(
         participants,
         seed=config.simulation.seed,
@@ -314,44 +524,14 @@ def run_chiaroscuro(
         drop_probability=config.gossip.drop_probability,
         corruption_rate=config.network.corruption_rate,
     )
-    tracked_ids = sorted(
-        master_rng.choice(
-            n_participants,
-            size=min(n_tracked_participants, n_participants),
-            replace=False,
-        ).tolist()
-    )
-    packing_info = {
-        "enabled": backend.is_packed,
-        "slots": backend.packing.slots if backend.packing is not None else 1,
-        "slot_bits": backend.packing.slot_bits if backend.packing is not None else 0,
-    }
-    fastmath_info = {
-        "mode": getattr(backend, "fastmath", "off"),
-        "pooled": getattr(backend, "fastmath_enabled", False),
-    }
-    wire_info = {
-        "mode": normalize_wire(config.network.wire),
-        "corruption_rate": config.network.corruption_rate,
-    }
-    log = ExecutionLog(metadata={
-        "dataset": collection.name,
-        "n_participants": n_participants,
-        "series_length": series_length,
-        "config": config.describe(),
-        "normalization": transform,
-        "tracked_participants": tracked_ids,
-        "packing": packing_info,
-        "fastmath": fastmath_info,
-        "wire": wire_info,
-    })
+    log = ExecutionLog(metadata=run_log_metadata(setup, collection.name))
     observer = _RunObserver(
-        participants, data, initial_centroids, tracked_ids, engine, backend, log
+        participants, setup.data, setup.initial_centroids, setup.tracked_ids,
+        engine, setup.backend, log,
     )
     engine.add_observer(observer)
 
-    cycles_per_iteration = config.gossip.cycles_per_aggregation + 3
-    max_cycles = config.kmeans.max_iterations * cycles_per_iteration + max_extra_cycles
+    max_cycles = plan_max_cycles(config, max_extra_cycles)
     engine.run(max_cycles, stop_when=lambda eng: all(p.is_done for p in participants))
     # Finish any straggler deterministically (e.g. nodes offline at the end).
     for participant in participants:
@@ -362,63 +542,34 @@ def run_chiaroscuro(
         engine.run_cycle()
         remaining_guard += 1
 
-    profiles_stack = np.stack([
-        p.final_profiles if p.final_profiles is not None else p.centroids
-        for p in participants
-    ])
-    profiles = profiles_stack.mean(axis=0)
-    assignments = assign_to_centroids(data, profiles)
-    inertia = compute_inertia(data, profiles, assignments)
-    epsilon_spent = max(p.accountant.spent_epsilon for p in participants)
-    n_iterations = max(p.iteration for p in participants)
-    stop_reasons: dict[str, int] = {}
-    for participant in participants:
-        reason = participant.stop_reason or "unfinished"
-        stop_reasons[reason] = stop_reasons.get(reason, 0) + 1
-    converged = any(
-        p.stop_reason in ("converged", "synchronized") for p in participants
-    )
-    guarantee = guarantee_for_run(
-        epsilon=max(epsilon_spent, 1e-12),
-        cycles=config.gossip.cycles_per_aggregation,
-        n_participants=n_participants,
-    )
-    crypto_counts = backend.counter.as_dict()
-    costs = CostSummary(
-        n_participants=n_participants,
-        n_iterations=n_iterations,
+    return assemble_result(
+        setup,
+        collection.name,
+        [outcome_of(participant) for participant in participants],
         messages_sent=engine.network.total.messages_sent,
         bytes_sent=engine.network.total.bytes_sent,
-        encryptions=crypto_counts["encryptions"],
-        homomorphic_additions=crypto_counts["additions"],
-        partial_decryptions=crypto_counts["partial_decryptions"],
-        combinations=crypto_counts["combinations"],
-        bytes_sent_modelled=engine.network.total.bytes_modelled,
-        wire=wire_info["mode"],
-    )
-    per_participant_profiles = {
-        p.node_id: (p.final_profiles if p.final_profiles is not None else p.centroids).copy()
-        for p in participants
-    }
-    metadata: dict[str, Any] = {
-        "normalization": transform,
-        "tracked_participants": tracked_ids,
-        "dataset": collection.name,
-        "packing": packing_info,
-        "fastmath": fastmath_info,
-        "wire": wire_info,
-    }
-    return ChiaroscuroResult(
-        profiles=profiles,
-        assignments=assignments,
-        per_participant_profiles=per_participant_profiles,
-        inertia=inertia,
-        n_iterations=n_iterations,
-        converged=converged,
-        stop_reasons=stop_reasons,
-        epsilon_spent=epsilon_spent,
-        guarantee=guarantee,
-        costs=costs,
+        bytes_modelled=engine.network.total.bytes_modelled,
+        crypto_counts=setup.backend.counter.as_dict(),
         log=log,
-        metadata=metadata,
     )
+
+
+def plan_max_cycles(config: ChiaroscuroConfig, max_extra_cycles: int = 50) -> int:
+    """Cycle budget of a run (shared by the cycle engine and the live runner)."""
+    cycles_per_iteration = config.gossip.cycles_per_aggregation + 3
+    return config.kmeans.max_iterations * cycles_per_iteration + max_extra_cycles
+
+
+def run_log_metadata(setup: RunSetup, collection_name: str) -> dict[str, Any]:
+    """Execution-log metadata both execution modes record identically."""
+    return {
+        "dataset": collection_name,
+        "n_participants": setup.n_participants,
+        "series_length": setup.series_length,
+        "config": setup.config.describe(),
+        "normalization": setup.transform,
+        "tracked_participants": setup.tracked_ids,
+        "packing": setup.packing_info(),
+        "fastmath": setup.fastmath_info(),
+        "wire": setup.wire_info(),
+    }

@@ -574,19 +574,25 @@ class DamgardJurikBackend(CipherBackend):
         except KeyError as exc:
             raise ThresholdError(f"no key share with index {index}") from exc
 
-    def configure_pool(self, expected_per_round: int) -> None:
+    def configure_pool(self, expected_per_round: int,
+                       background: bool = False) -> None:
         """Size and prefill the blinder pool from the cost model's demand.
 
         *expected_per_round* is the number of hot-path encryptions the
         protocol performs per round (see
         :attr:`~repro.analysis.costs.ProtocolWorkload.encryptions_per_iteration`);
-        a no-op when fastmath is off.
+        a no-op when fastmath is off.  *background* additionally starts the
+        pool's refill worker thread (see
+        :meth:`~repro.crypto.fastmath.BlinderPool.start_background_refill`),
+        which the live runner's workers enable after forking.
         """
         if self._pool is None:
             return
         self._pool.batch_size = plan_pool_batch(expected_per_round)
         if not len(self._pool):
             self._pool.refill()
+        if background:
+            self._pool.start_background_refill()
 
     # ------------------------------------------------------------------ primitives
     def _encrypt_plaintexts(self, plaintexts: Sequence[int]) -> tuple[int, ...]:

@@ -37,6 +37,7 @@ only the wall-clock changes.
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from typing import Callable, Sequence
 
@@ -390,6 +391,15 @@ class BlinderPool:
         self._pool: deque[int] = deque()
         self.generated = 0
         self.served = 0
+        # One condition guards the pool *and* serializes blinder generation:
+        # every randomness draw happens under it, in append order, so the
+        # FIFO pool consumes the randomness stream exactly like fresh
+        # encryption would — whether a blinder was generated synchronously
+        # on exhaustion or ahead of time by the background refill thread.
+        self._condition = threading.Condition()
+        self._refill_thread: threading.Thread | None = None
+        self._refill_stop: threading.Event | None = None
+        self.low_water = max(1, batch_size // 2)
         self._table: FixedBaseTable | None = None
         if mode == "derived":
             generator = precomputed.crt_pow(
@@ -416,6 +426,10 @@ class BlinderPool:
     def refill(self, count: int | None = None) -> None:
         """Precompute *count* blinders (one batch when omitted)."""
         count = self.batch_size if count is None else count
+        with self._condition:
+            self._refill_locked(count)
+
+    def _refill_locked(self, count: int) -> None:
         for _ in range(count):
             self._pool.append(self._fresh_blinder())
         self.generated += count
@@ -425,12 +439,93 @@ class BlinderPool:
 
         FIFO order keeps the randomness-stream consumption identical to
         fresh encryption: the i-th pooled operation uses exactly the i-th
-        drawn randomness.
+        drawn randomness.  With the background refill thread running, the
+        pool rarely empties and this is one lock acquisition plus one
+        ``popleft``; dropping to the low-water mark wakes the refiller.
         """
-        if not self._pool:
-            self.refill()
-        self.served += 1
-        return self._pool.popleft()
+        with self._condition:
+            if not self._pool:
+                self._refill_locked(self.batch_size)
+            self.served += 1
+            blinder = self._pool.popleft()
+            if self._refill_thread is not None and len(self._pool) <= self.low_water:
+                self._condition.notify_all()
+            return blinder
+
+    def reset(self) -> None:
+        """Discard every pooled blinder (counters untouched).
+
+        A process that inherits a pool through ``fork`` MUST call this
+        before encrypting: two processes serving the same precomputed
+        blinders would produce ciphertexts with identical randomness, and
+        the quotient of two such ciphertexts reveals the plaintext
+        difference — exactly the linkability the re-randomization layer
+        exists to prevent.  Post-fork draws come from the process's own
+        entropy, so refilled pools diverge immediately.
+        """
+        with self._condition:
+            self._pool.clear()
+
+    # ------------------------------------------------------------------ background refill
+    def start_background_refill(self, low_water: int | None = None) -> None:
+        """Keep the pool topped up from a daemon worker thread.
+
+        Real deployments refill blinder pools in idle time; this moves the
+        batch exponentiations off the encryption hot path.  Generation
+        stays under the pool lock, one blinder at a time, so the exact-mode
+        randomness stream is consumed in precisely the order the
+        synchronous path consumes it — pooled ciphertexts remain
+        bit-identical to fresh ones given the same stream.  Idempotent; a
+        no-op when the thread is already running.
+        """
+        with self._condition:
+            if low_water is not None:
+                if low_water < 1:
+                    raise CryptoError(f"low_water must be >= 1, got {low_water}")
+                self.low_water = low_water
+            if self._refill_thread is not None:
+                return
+            # Each thread gets its own stop event: even if a stop times out
+            # with the old thread wedged behind the lock, a later start can
+            # never revive it — its event stays set forever and a fresh
+            # thread runs on a fresh event.
+            stop = threading.Event()
+            self._refill_stop = stop
+            self._refill_thread = threading.Thread(
+                target=self._background_refill_loop,
+                args=(stop,),
+                name="blinder-pool-refill",
+                daemon=True,
+            )
+            self._refill_thread.start()
+
+    def stop_background_refill(self) -> None:
+        """Stop the refill thread (blocks until it exits); idempotent."""
+        with self._condition:
+            thread = self._refill_thread
+            stop = self._refill_stop
+            if thread is None:
+                return
+            stop.set()
+            self._condition.notify_all()
+        thread.join(timeout=30.0)
+        with self._condition:
+            self._refill_thread = None
+            self._refill_stop = None
+
+    def _background_refill_loop(self, stop: threading.Event) -> None:
+        # The lock is re-acquired for every single blinder: a concurrent
+        # take() waits at most one exponentiation, never a whole batch, and
+        # draw order == append order == serve order (stream identity).
+        while True:
+            with self._condition:
+                if stop.is_set():
+                    return
+                if len(self._pool) >= self.low_water + self.batch_size:
+                    self._condition.wait(timeout=0.1)
+                    continue
+                self._refill_locked(1)
+                self._condition.notify_all()
 
 
 def plan_pool_batch(expected_per_round: int, minimum: int = 16, maximum: int = 1024) -> int:

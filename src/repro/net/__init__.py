@@ -1,0 +1,69 @@
+"""Transport layer: the seam between protocol logic and message delivery.
+
+This package owns *how bytes move* between participants, independently of
+*what the protocol does* with them:
+
+* :mod:`repro.net.transport` — the :class:`~repro.net.transport.Transport`
+  abstraction and the deterministic in-process
+  :class:`~repro.net.transport.LoopbackTransport` that the cycle engine
+  delegates to (bit-identical to the historical engine-internal delivery);
+* :mod:`repro.net.envelope` — length-prefixed socket records that carry
+  wire frames (and JSON control metadata) over a TCP stream;
+* :mod:`repro.net.bootstrap` — the membership/key bootstrap driven by the
+  :class:`~repro.gossip.messages.MembershipAnnouncement` and
+  :class:`~repro.gossip.messages.KeyAnnouncement` frames;
+* :mod:`repro.net.faults` — targeted (adversarial, non-random) frame
+  mutations for conformance testing;
+* :mod:`repro.net.live` — the multi-process asyncio socket runner
+  (imported lazily: it pulls in :mod:`repro.core`, which itself imports
+  the transport layer).
+"""
+
+from .envelope import (
+    KIND_CONTROL,
+    KIND_FRAME,
+    Envelope,
+    EnvelopeError,
+    decode_envelope,
+    encode_envelope,
+)
+from .transport import LoopbackTransport, Transport
+
+#: Names resolved lazily: bootstrap/faults import :mod:`repro.gossip.messages`,
+#: which imports the simulation engine — and the engine imports this package
+#: for :class:`LoopbackTransport`.  Deferring the gossip-dependent modules
+#: keeps the transport seam importable from inside the engine.
+_LAZY = {
+    "MembershipDirectory": "bootstrap",
+    "key_announcement_for": "bootstrap",
+    "verify_key_announcement": "bootstrap",
+    "TargetedMutation": "faults",
+    "reframe_body": "faults",
+    "targeted_mutations": "faults",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)
+
+__all__ = [
+    "Envelope",
+    "EnvelopeError",
+    "KIND_CONTROL",
+    "KIND_FRAME",
+    "LoopbackTransport",
+    "MembershipDirectory",
+    "TargetedMutation",
+    "Transport",
+    "decode_envelope",
+    "encode_envelope",
+    "key_announcement_for",
+    "reframe_body",
+    "targeted_mutations",
+    "verify_key_announcement",
+]

@@ -1,0 +1,1192 @@
+"""The live runner: Chiaroscuro over real TCP sockets between OS processes.
+
+``repro run --live --processes N`` executes the protocol with *N* worker
+processes, each hosting a shard of the participants (round-robin by node
+id).  Every protocol exchange — diptych gossip, committee decryption —
+moves the exact serialized wire frames of :mod:`repro.gossip.messages` over
+asyncio TCP connections between the workers; membership and the threshold
+public key are bootstrapped by actually driving the
+``MembershipAnnouncement``/``KeyAnnouncement`` frames through
+:class:`~repro.net.bootstrap.MembershipDirectory`.
+
+Architecture::
+
+    coordinator (parent process)
+      - derives the RunSetup (data, backend+keys, overlay, seeds)
+      - forks N workers, serves the control channel
+      - replays the cycle engine's scheduler stream and steps participants
+        one at a time, in the exact global order the CycleEngine would use
+      - collects per-node histories + traffic, assembles the result
+
+    worker i (OS process)
+      - hosts participants {id : id % N == i}
+      - announces them with MembershipAnnouncement frames, verifies the
+        KeyAnnouncement against its (fork-inherited) key material
+      - serves gossip/decrypt frames from peer workers over its TCP server
+      - accounts traffic for its own nodes only (the authoritative
+        byte-count site of :mod:`repro.net.transport`)
+
+Determinism: because stepping is sequential in the replayed scheduler
+order, peer sampling uses the same per-node streams, and homomorphic
+averaging is commutative in the plaintexts, a live run produces *the same
+clustering results* as ``mode="cycle"`` with the same seed — bit-identical
+for every backend, since threshold decryption is exact integer arithmetic.
+The caveats (see README "Live runner"): the two sides of a gossip exchange
+hold independently re-randomized ciphertexts rather than one shared
+object (identical plaintexts), per-iteration cost deltas are not recorded
+in the execution log, control-plane records (probes, stepping, bootstrap)
+are runner overhead excluded from the protocol byte accounting, and the
+fault models (churn, loss, corruption) are not supported yet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import socket
+import sys
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Sequence
+
+import numpy as np
+
+from ..config import ChiaroscuroConfig
+from ..core.collaborative import (
+    build_decrypt_request,
+    build_decrypt_response,
+    decode_decrypt_response,
+    finalize_decryption,
+    share_holder_ids,
+    share_index_of,
+)
+from ..core.execution_log import ExecutionLog, IterationRecord
+from ..core.participant import (
+    ChiaroscuroParticipant,
+    Phase,
+    gossip_decision,
+    peer_sampling_stream,
+)
+from ..core.runner import (
+    ParticipantOutcome,
+    RunSetup,
+    assemble_result,
+    build_run_setup,
+    plan_max_cycles,
+    run_log_metadata,
+)
+from ..crypto.wire import wire_ciphertext_bytes
+from ..exceptions import ProtocolError, ThresholdError, WireFormatError
+from ..gossip.encrypted_sum import average_estimates, estimate_payload_bytes
+from ..gossip.messages import (
+    DecryptRequest,
+    DiptychExchange,
+    DiptychReply,
+    deserialize,
+)
+from ..simulation.network import Message, Network, TrafficStats
+from ..simulation.rng import RngRegistry
+from ..timeseries import TimeSeriesCollection
+from .bootstrap import MembershipDirectory, key_announcement_for, verify_key_announcement
+from .envelope import (
+    KIND_CONTROL,
+    KIND_FRAME,
+    Envelope,
+    decode_envelope,
+    encode_envelope,
+    read_length_prefix,
+)
+
+
+# ---------------------------------------------------------------------- sockets
+@dataclass
+class SocketStats:
+    """Runner-level socket I/O of one worker (envelopes included).
+
+    This is deliberately separate from the protocol's
+    :class:`~repro.simulation.network.TrafficStats`: protocol accounting
+    charges frame bytes only, while these counters measure everything that
+    actually crossed the sockets (envelopes, control records, bootstrap).
+    """
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    records_sent: int = 0
+    records_received: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "records_sent": self.records_sent,
+            "records_received": self.records_received,
+        }
+
+
+class FrameConnection:
+    """One TCP connection moving length-prefixed envelope records."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+                 stats: SocketStats) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._stats = stats
+        self._write_lock = asyncio.Lock()
+
+    async def write(self, envelope: Envelope) -> None:
+        record = encode_envelope(envelope)
+        async with self._write_lock:
+            self._writer.write(record)
+            await self._writer.drain()
+        self._stats.bytes_sent += len(record)
+        self._stats.records_sent += 1
+
+    async def read(self) -> Envelope:
+        prefix = await self._reader.readexactly(4)
+        length = read_length_prefix(prefix)
+        body = await self._reader.readexactly(length)
+        self._stats.bytes_received += 4 + len(body)
+        self._stats.records_received += 1
+        return decode_envelope(body)
+
+    def close(self) -> None:
+        try:
+            self._writer.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+class RequestChannel:
+    """Request/reply multiplexing over one :class:`FrameConnection`.
+
+    Outgoing requests get a fresh correlation id and an awaitable future;
+    incoming records are dispatched by :meth:`pump`: replies resolve their
+    future, everything else goes to *handler* (which may return a reply
+    envelope to send back, or ``None`` for notifications).
+    """
+
+    def __init__(
+        self,
+        connection: FrameConnection,
+        handler: Callable[[Envelope], Awaitable[Envelope | None]] | None = None,
+    ) -> None:
+        self.connection = connection
+        self._handler = handler
+        self._pending: dict[int, asyncio.Future[Envelope]] = {}
+        self._next_id = 1
+
+    async def request(self, envelope: Envelope) -> Envelope:
+        correlation_id = self._next_id
+        self._next_id += 1
+        envelope = Envelope(
+            kind=envelope.kind, correlation_id=correlation_id,
+            header=envelope.header, payload=envelope.payload, is_reply=False,
+        )
+        future: asyncio.Future[Envelope] = asyncio.get_running_loop().create_future()
+        self._pending[correlation_id] = future
+        try:
+            await self.connection.write(envelope)
+            return await future
+        finally:
+            self._pending.pop(correlation_id, None)
+
+    async def notify(self, envelope: Envelope) -> None:
+        await self.connection.write(envelope)
+
+    async def pump(self) -> None:
+        """Read records until EOF, dispatching replies and requests.
+
+        Whatever ends the loop — EOF, reset, a handler error — every
+        in-flight request on this channel is failed immediately, so callers
+        never hang on a dead connection.
+        """
+        error: BaseException | None = None
+        try:
+            while True:
+                try:
+                    envelope = await self.connection.read()
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                if envelope.is_reply:
+                    future = self._pending.get(envelope.correlation_id)
+                    if future is not None and not future.done():
+                        future.set_result(envelope)
+                    continue
+                if self._handler is None:
+                    raise ProtocolError(
+                        f"unsolicited record {envelope.header!r} on a request-only link"
+                    )
+                reply = await self._handler(envelope)
+                if reply is not None:
+                    await self.connection.write(Envelope(
+                        kind=reply.kind, correlation_id=envelope.correlation_id,
+                        header=reply.header, payload=reply.payload, is_reply=True,
+                    ))
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            self.fail_pending(error or ProtocolError("connection closed"))
+
+    def fail_pending(self, error: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+
+# ---------------------------------------------------------------------- transport
+class WorkerTransport:
+    """The asyncio TCP transport of one worker: delivery plus accounting.
+
+    The live counterpart of :class:`~repro.net.transport.LoopbackTransport`:
+    requests carry one serialized wire frame to a participant (local or on
+    a peer worker) and await the frame-carrying reply.  The authoritative
+    accounting rule is the transport contract: ``bytes_sent`` of a node is
+    charged here, exactly once, on the worker hosting that node — measured
+    frame lengths, never envelope or control bytes.
+    """
+
+    def __init__(
+        self,
+        worker_index: int,
+        n_nodes: int,
+        local_ids: set[int],
+        directory: MembershipDirectory,
+        handler: "WorkerProtocolHandler",
+        stats: SocketStats,
+        connect_timeout: float,
+    ) -> None:
+        self.worker_index = worker_index
+        self.local_ids = local_ids
+        self.directory = directory
+        self.handler = handler
+        self.socket_stats = stats
+        self.connect_timeout = connect_timeout
+        self.ledger = Network(n_nodes=n_nodes, drop_probability=0.0)
+        self._peer_channels: dict[tuple[str, int], RequestChannel] = {}
+        self._peer_tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------ accounting
+    def _account_send(self, sender: int, recipient: int, kind: str,
+                      size_bytes: int, modelled: int | None) -> None:
+        self.ledger.account_send(Message(
+            sender=sender, recipient=recipient, kind=kind, payload=b"",
+            size_bytes=size_bytes, modelled_bytes=modelled,
+        ))
+
+    def _account_receive(self, sender: int, recipient: int, kind: str,
+                         size_bytes: int, modelled: int | None) -> None:
+        self.ledger.account_receive(Message(
+            sender=sender, recipient=recipient, kind=kind, payload=b"",
+            size_bytes=size_bytes, modelled_bytes=modelled,
+        ))
+
+    def stats_for(self, node_id: int) -> TrafficStats:
+        return self.ledger.stats_for(node_id)
+
+    # ------------------------------------------------------------------ links
+    async def _channel_to(self, node_id: int) -> RequestChannel:
+        address = self.directory.address_of(node_id)
+        channel = self._peer_channels.get(address)
+        if channel is None:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(address[0], address[1]),
+                timeout=self.connect_timeout,
+            )
+            channel = RequestChannel(FrameConnection(reader, writer, self.socket_stats))
+            self._peer_channels[address] = channel
+            self._peer_tasks.append(asyncio.create_task(channel.pump()))
+        return channel
+
+    def close(self) -> None:
+        for task in self._peer_tasks:
+            task.cancel()
+        for channel in self._peer_channels.values():
+            channel.connection.close()
+
+    # ------------------------------------------------------------------ requests
+    async def control_request(self, node_id: int, header: dict[str, Any]) -> dict[str, Any]:
+        """Unaccounted control round-trip to the worker hosting *node_id*.
+
+        Control records (gossip state probes) are runner metadata — the
+        cycle engine reads peer state from shared memory at zero cost, so
+        charging them would break byte parity between the two modes.  They
+        do show up in the socket statistics.
+        """
+        if node_id in self.local_ids:
+            return self.handler.handle_control(header)
+        channel = await self._channel_to(node_id)
+        reply = await channel.request(Envelope(
+            kind=KIND_CONTROL, correlation_id=0, header=header,
+        ))
+        return reply.header
+
+    async def frame_request(
+        self, sender: int, recipient: int, kind: str, frame: bytes,
+        modelled_bytes: int | None = None,
+    ) -> tuple[dict[str, Any], bytes]:
+        """One accounted frame round-trip: request frame out, reply frame back.
+
+        Mirrors the two :meth:`CycleEngine.transmit` calls of a cycle-mode
+        exchange: the request is charged to *sender* here, received by
+        *recipient* on its hosting worker; the reply is charged to
+        *recipient* there and received by *sender* here.
+        """
+        self._account_send(sender, recipient, kind, len(frame), modelled_bytes)
+        header = {
+            "op": kind, "sender": sender, "recipient": recipient,
+            "modelled": modelled_bytes,
+        }
+        if recipient in self.local_ids:
+            self._account_receive(sender, recipient, kind, len(frame), modelled_bytes)
+            reply_header, reply_frame = self.handler.handle_frame(header, frame)
+            if reply_frame:
+                self._account_send(recipient, sender, kind + "-reply",
+                                   len(reply_frame), modelled_bytes)
+                self._account_receive(recipient, sender, kind + "-reply",
+                                      len(reply_frame), modelled_bytes)
+            return reply_header, reply_frame
+        channel = await self._channel_to(recipient)
+        reply = await channel.request(Envelope(
+            kind=KIND_FRAME, correlation_id=0, header=header, payload=frame,
+        ))
+        if reply.payload:
+            self._account_receive(recipient, sender, kind + "-reply",
+                                  len(reply.payload), modelled_bytes)
+        return reply.header, reply.payload
+
+
+# ---------------------------------------------------------------------- handlers
+class WorkerProtocolHandler:
+    """Message-driven protocol logic of one worker's participants.
+
+    Every handler is synchronous and self-contained (it never awaits a
+    remote peer), which is what makes the request graph deadlock-free: a
+    worker can always serve incoming gossip/decrypt frames while one of its
+    own participants waits for a reply elsewhere.
+    """
+
+    def __init__(self, setup: RunSetup,
+                 participants: dict[int, ChiaroscuroParticipant]) -> None:
+        self.setup = setup
+        self.participants = participants
+
+    # ------------------------------------------------------------------ control
+    def handle_control(self, header: dict[str, Any]) -> dict[str, Any]:
+        op = header.get("op")
+        if op == "probe":
+            return self._handle_probe(header)
+        raise ProtocolError(f"unknown control operation {op!r}")
+
+    def _handle_probe(self, header: dict[str, Any]) -> dict[str, Any]:
+        """Peer-state query: the live stand-in for the cycle engine's
+        shared-memory reads, answered by the same shared predicate."""
+        peer = self.participants[int(header["recipient"])]
+        decision = gossip_decision(peer, int(header["iteration"]))
+        if decision == "sync":
+            return {"status": "sync", "profiles": peer.final_profiles.tolist()}
+        if decision == "adopt":
+            return {
+                "status": "adopt",
+                "iteration": peer.iteration,
+                "centroids": peer.centroids.tolist(),
+            }
+        return {"status": decision}
+
+    # ------------------------------------------------------------------ frames
+    def handle_frame(self, header: dict[str, Any],
+                     frame: bytes) -> tuple[dict[str, Any], bytes]:
+        """Decode and serve one protocol frame; never raises on bad frames.
+
+        A frame that fails to decode is answered with an ``error`` header
+        (the initiator treats it as a loss), mirroring the cycle-mode rule
+        that corruption degrades into loss and only
+        :class:`~repro.exceptions.WireFormatError` is ever raised by
+        decoding.
+        """
+        op = header.get("op")
+        try:
+            message = deserialize(frame)
+        except WireFormatError as exc:
+            return {"error": "wire_format", "detail": str(exc)}, b""
+        if op == "diptych-exchange":
+            return self._handle_exchange(header, message)
+        if op == "decrypt-request":
+            return self._handle_decrypt(header, message)
+        return {"error": "unknown_op", "detail": str(op)}, b""
+
+    def _handle_exchange(self, header: dict[str, Any],
+                         message: Any) -> tuple[dict[str, Any], bytes]:
+        if not isinstance(message, DiptychExchange):
+            return {"error": "unexpected_type", "detail": type(message).__name__}, b""
+        peer = self.participants[int(header["recipient"])]
+        if peer.phase is not Phase.GOSSIP or peer.diptych is None \
+                or peer.iteration != message.iteration:
+            return {"error": "state"}, b""
+        # The reply carries the peer's *pre-merge* re-randomized estimates
+        # (the view that travels), exactly as the cycle-mode responder's
+        # reply frame does; then the peer adopts the average of its stored
+        # estimates and the received view.  Both sides end up holding the
+        # same plaintext average.
+        reply_data, reply_noise = peer._forwarded_estimates(peer.diptych)
+        _merge_view_into(
+            self.setup.backend, peer,
+            list(message.data_estimates), list(message.noise_estimates),
+        )
+        width = wire_ciphertext_bytes(self.setup.backend)
+        reply = DiptychReply(
+            iteration=peer.iteration,
+            data_estimates=tuple(reply_data),
+            noise_estimates=tuple(reply_noise),
+            ciphertext_bytes=width,
+        ).serialize()
+        return {}, reply
+
+    def _handle_decrypt(self, header: dict[str, Any],
+                        message: Any) -> tuple[dict[str, Any], bytes]:
+        if not isinstance(message, DecryptRequest):
+            return {"error": "unexpected_type", "detail": type(message).__name__}, b""
+        backend = self.setup.backend
+        helper_id = int(header["recipient"])
+        share_index = share_index_of(helper_id, backend.n_shares)
+        if share_index is None:
+            return {"error": "no_share"}, b""
+        partials = tuple(
+            backend.partial_decrypt_vector(share_index, estimate.vector)
+            for estimate in message.estimates
+        )
+        return {}, build_decrypt_response(backend, partials)
+
+
+def _merge_view_into(backend, participant: ChiaroscuroParticipant,
+                     view_data, view_noise) -> None:
+    """Adopt the pairwise average of the stored diptych and a received view."""
+    diptych = participant.diptych
+    if len(view_data) != diptych.n_clusters or len(view_noise) != diptych.n_clusters:
+        raise ProtocolError("peer view does not carry one estimate per cluster")
+    for cluster in range(diptych.n_clusters):
+        diptych.data_estimates[cluster] = average_estimates(
+            backend, diptych.data_estimates[cluster], view_data[cluster]
+        )
+        diptych.noise_estimates[cluster] = average_estimates(
+            backend, diptych.noise_estimates[cluster], view_noise[cluster]
+        )
+
+
+# ---------------------------------------------------------------------- driver
+class LiveParticipantDriver:
+    """Steps hosted participants, with gossip/decrypt over the transport.
+
+    The assignment and convergence steps run the participant's own local
+    code; only the two distributed steps are re-implemented message-driven
+    — same decisions, in the same order, from the same random streams as
+    the cycle engine's version.
+    """
+
+    def __init__(self, setup: RunSetup,
+                 participants: dict[int, ChiaroscuroParticipant],
+                 transport: WorkerTransport) -> None:
+        self.setup = setup
+        self.participants = participants
+        self.transport = transport
+        self.registry = RngRegistry(setup.config.simulation.seed)
+        self._online = set(range(setup.n_participants))
+
+    async def step(self, node_id: int) -> dict[str, Any]:
+        participant = self.participants[node_id]
+        if participant.phase is Phase.ASSIGN:
+            participant._assignment_step()
+        elif participant.phase is Phase.GOSSIP:
+            await self._gossip_step(participant)
+        elif participant.phase is Phase.DECRYPT:
+            await self._decrypt_step(participant)
+        return {"done": participant.is_done, "iteration": participant.iteration}
+
+    # ------------------------------------------------------------------ gossip
+    async def _gossip_step(self, participant: ChiaroscuroParticipant) -> None:
+        config = self.setup.config
+        backend = self.setup.backend
+        rng = self.registry.stream(peer_sampling_stream(participant.node_id))
+        for _ in range(config.gossip.exchanges_per_cycle):
+            peer_id = participant.overlay.sample_neighbor(
+                participant.node_id, rng, online=self._online
+            )
+            if peer_id is None:
+                break
+            probe = await self.transport.control_request(peer_id, {
+                "op": "probe", "recipient": peer_id,
+                "sender": participant.node_id,
+                "iteration": participant.iteration,
+            })
+            status = probe.get("status")
+            if status == "sync":
+                participant.synchronize_with_profiles(probe["profiles"])
+                return
+            if status == "adopt":
+                participant.adopt_peer_state(probe["centroids"],
+                                             int(probe["iteration"]))
+                if participant.phase is not Phase.GOSSIP:
+                    return
+                continue
+            if status != "merge":
+                continue
+            diptych = participant.diptych
+            payload = sum(
+                estimate_payload_bytes(backend, estimate)
+                for estimate in diptych.data_estimates + diptych.noise_estimates
+            )
+            outgoing_data, outgoing_noise = participant._forwarded_estimates(diptych)
+            width = wire_ciphertext_bytes(backend)
+            frame = DiptychExchange(
+                iteration=participant.iteration,
+                data_estimates=tuple(outgoing_data),
+                noise_estimates=tuple(outgoing_noise),
+                ciphertext_bytes=width,
+            ).serialize()
+            header, reply_frame = await self.transport.frame_request(
+                participant.node_id, peer_id, "diptych-exchange", frame,
+                modelled_bytes=payload,
+            )
+            if header.get("error") or not reply_frame:
+                continue
+            try:
+                reply = deserialize(reply_frame)
+            except WireFormatError:
+                continue
+            if not isinstance(reply, DiptychReply):
+                continue
+            _merge_view_into(
+                backend, participant,
+                list(reply.data_estimates), list(reply.noise_estimates),
+            )
+        participant.gossip_cycles_done += 1
+        if participant.gossip_cycles_done >= config.gossip.cycles_per_aggregation:
+            participant.phase = Phase.DECRYPT
+
+    # ------------------------------------------------------------------ decryption
+    async def _decrypt_step(self, participant: ChiaroscuroParticipant) -> None:
+        backend = self.setup.backend
+        diptych = participant.diptych
+        if diptych is None:  # pragma: no cover - state machine guarantees this
+            raise ProtocolError("decrypt phase reached without a diptych")
+        try:
+            if backend.is_packed:
+                combined = [
+                    participant.combined_estimate(cluster)
+                    for cluster in range(participant.n_clusters)
+                ]
+                decrypted = await self._decrypt_many(participant, combined)
+            else:
+                decrypted = []
+                for cluster in range(participant.n_clusters):
+                    values = await self._decrypt_many(
+                        participant, [participant.combined_estimate(cluster)]
+                    )
+                    decrypted.append(values[0])
+        except ThresholdError:
+            # Not enough usable partial decryptions this round; retry later.
+            return
+        participant._converge_from_decrypted(decrypted, self.setup.n_participants)
+
+    async def _decrypt_many(self, participant: ChiaroscuroParticipant,
+                            estimates: Sequence) -> list[np.ndarray]:
+        """One committee round over the transport (the wire-mode pattern)."""
+        backend = self.setup.backend
+        committee = share_holder_ids(backend.n_shares)
+        if len(committee) < backend.threshold:  # pragma: no cover - config-validated
+            raise ThresholdError("committee smaller than the threshold")
+        helpers = tuple(committee[: backend.threshold])
+        modelled = sum(estimate_payload_bytes(backend, estimate) for estimate in estimates)
+        request_frame = build_decrypt_request(backend, estimates)
+        per_estimate: list[list] = [[] for _ in estimates]
+        for helper_id in helpers:
+            header, response_frame = await self.transport.frame_request(
+                participant.node_id, helper_id, "decrypt-request", request_frame,
+                modelled_bytes=modelled,
+            )
+            if header.get("error") or not response_frame:
+                continue
+            partials = decode_decrypt_response(response_frame, len(estimates))
+            if partials is None:
+                continue
+            for position, partial in enumerate(partials):
+                per_estimate[position].append(partial)
+        return finalize_decryption(backend, per_estimate, estimates)
+
+
+# ---------------------------------------------------------------------- worker
+def _collect_node_state(participant: ChiaroscuroParticipant,
+                        stats: TrafficStats) -> dict[str, Any]:
+    return {
+        "node": participant.node_id,
+        "iteration": participant.iteration,
+        "stop_reason": participant.stop_reason,
+        "done": participant.is_done,
+        "final_profiles": (
+            participant.final_profiles.tolist()
+            if participant.final_profiles is not None else None
+        ),
+        "centroids": participant.centroids.tolist(),
+        "assignment_history": [int(a) for a in participant.assignment_history],
+        "displacement_history": [float(d) for d in participant.displacement_history],
+        "perturbed_means_history": [
+            means.tolist() for means in participant.perturbed_means_history
+        ],
+        "spends": [
+            {"epsilon": spend.epsilon, "label": spend.label}
+            for spend in participant.accountant
+        ],
+        "spent_epsilon": participant.accountant.spent_epsilon,
+        "traffic": stats.as_dict(),
+    }
+
+
+async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int],
+                        coordinator_address: tuple[str, int]) -> None:
+    config = setup.config
+    runtime = config.runtime
+    stats = SocketStats()
+    participants = {
+        node_id: setup.make_participant(node_id) for node_id in local_ids
+    }
+    handler = WorkerProtocolHandler(setup, participants)
+    directory = MembershipDirectory()
+
+    # The pool was prefilled in the coordinator before the fork: discard
+    # those blinders — every worker must draw its own randomness, or two
+    # workers would encrypt with identical blinders and their ciphertexts
+    # would be linkable.  Then refill in the background: real deployments
+    # fill encryption pools in idle time, and the worker is the right place
+    # to demonstrate it (threads are started after the fork, never
+    # inherited).
+    pool = getattr(setup.backend, "_pool", None)
+    if pool is not None and hasattr(pool, "start_background_refill"):
+        pool.reset()
+        pool.start_background_refill()
+
+    server_socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server_socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    port = runtime.base_port + 1 + worker_index if runtime.base_port else 0
+    server_socket.bind((runtime.host, port))
+    host, port = server_socket.getsockname()[:2]
+
+    transport = WorkerTransport(
+        worker_index=worker_index,
+        n_nodes=setup.n_participants,
+        local_ids=set(local_ids),
+        directory=directory,
+        handler=handler,
+        stats=stats,
+        connect_timeout=runtime.connect_timeout,
+    )
+    driver = LiveParticipantDriver(setup, participants, transport)
+    bootstrapped = asyncio.Event()
+    shutdown = asyncio.Event()
+
+    async def handle_peer_record(envelope: Envelope) -> Envelope | None:
+        if envelope.kind == KIND_FRAME:
+            recipient = int(envelope.header["recipient"])
+            transport._account_receive(
+                int(envelope.header["sender"]), recipient,
+                str(envelope.header.get("op", "")), len(envelope.payload),
+                envelope.header.get("modelled"),
+            )
+            reply_header, reply_frame = handler.handle_frame(
+                envelope.header, envelope.payload
+            )
+            if reply_frame:
+                transport._account_send(
+                    recipient, int(envelope.header["sender"]),
+                    str(envelope.header.get("op", "")) + "-reply",
+                    len(reply_frame), envelope.header.get("modelled"),
+                )
+            return Envelope(kind=KIND_FRAME, correlation_id=0,
+                            header=reply_header, payload=reply_frame,
+                            is_reply=True)
+        return Envelope(kind=KIND_CONTROL, correlation_id=0,
+                        header=handler.handle_control(envelope.header),
+                        is_reply=True)
+
+    async def serve_peer(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        channel = RequestChannel(
+            FrameConnection(reader, writer, stats), handle_peer_record
+        )
+        try:
+            await channel.pump()
+        except asyncio.CancelledError:
+            # Normal teardown: the worker's loop shuts down while this
+            # connection idles in read(); swallowing the cancellation here
+            # keeps asyncio's stream callback from logging a spurious
+            # traceback for every open peer link.
+            pass
+        finally:
+            channel.connection.close()
+
+    server = await asyncio.start_server(serve_peer, sock=server_socket)
+
+    async def handle_coordinator_record(envelope: Envelope) -> Envelope | None:
+        header = envelope.header
+        op = header.get("op")
+        if envelope.kind == KIND_FRAME:
+            if op == "announce":
+                address = header.get("address")
+                directory.feed(
+                    envelope.payload,
+                    address=(address[0], int(address[1])) if address else None,
+                    worker=header.get("worker"),
+                )
+                return None
+            if op == "key":
+                verify_key_announcement(envelope.payload, setup.backend)
+                return Envelope(kind=KIND_CONTROL, correlation_id=0,
+                                header={"ok": True}, is_reply=True)
+            raise ProtocolError(f"unexpected bootstrap frame {op!r}")
+        if op == "bootstrap-done":
+            expected = int(header["n_nodes"])
+            if len(directory) != expected:
+                raise ProtocolError(
+                    f"membership bootstrap incomplete: {len(directory)} of "
+                    f"{expected} nodes announced"
+                )
+            bootstrapped.set()
+            return Envelope(kind=KIND_CONTROL, correlation_id=0,
+                            header={"ready": True}, is_reply=True)
+        if op == "step":
+            if not bootstrapped.is_set():
+                raise ProtocolError("step before bootstrap completed")
+            result = await driver.step(int(header["node"]))
+            return Envelope(kind=KIND_CONTROL, correlation_id=0,
+                            header=result, is_reply=True)
+        if op == "collect":
+            payload = {
+                "worker": worker_index,
+                "nodes": [
+                    _collect_node_state(participants[node_id],
+                                        transport.stats_for(node_id))
+                    for node_id in local_ids
+                ],
+                "crypto": setup.backend.counter.as_dict(),
+                "socket": stats.as_dict(),
+            }
+            return Envelope(kind=KIND_CONTROL, correlation_id=0,
+                            header=payload, is_reply=True)
+        if op == "shutdown":
+            # A notification, not a request: the worker tears down on its
+            # own schedule, so no reply can race the connection close.
+            shutdown.set()
+            return None
+        raise ProtocolError(f"unknown coordinator operation {op!r}")
+
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(*coordinator_address),
+        timeout=runtime.connect_timeout,
+    )
+    coordinator = RequestChannel(
+        FrameConnection(reader, writer, stats), handle_coordinator_record
+    )
+    pump_task = asyncio.create_task(coordinator.pump())
+
+    await coordinator.notify(Envelope(
+        kind=KIND_CONTROL, correlation_id=0,
+        header={"op": "hello", "worker": worker_index,
+                "address": [host, port], "nodes": local_ids},
+    ))
+    # Drive the bootstrap announcements: one MembershipAnnouncement frame
+    # per hosted participant, the address riding in the envelope header.
+    for node_id in local_ids:
+        frame = directory.announce(
+            node_id, online=True, cycle=0,
+            address=(host, port), worker=worker_index,
+        )
+        await coordinator.notify(Envelope(
+            kind=KIND_FRAME, correlation_id=0,
+            header={"op": "announce", "worker": worker_index,
+                    "address": [host, port]},
+            payload=frame,
+        ))
+
+    shutdown_task = asyncio.create_task(shutdown.wait())
+    try:
+        finished, _ = await asyncio.wait(
+            {shutdown_task, pump_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if pump_task in finished and pump_task.exception() is not None:
+            raise pump_task.exception()
+    finally:
+        shutdown_task.cancel()
+        if pool is not None and hasattr(pool, "stop_background_refill"):
+            pool.stop_background_refill()
+        transport.close()
+        pump_task.cancel()
+        server.close()
+        coordinator.connection.close()
+
+
+def _worker_main(worker_index: int, setup: RunSetup, local_ids: list[int],
+                 coordinator_address: tuple[str, int]) -> None:
+    try:
+        asyncio.run(_worker_async(worker_index, setup, local_ids, coordinator_address))
+    except Exception:  # pragma: no cover - surfaced via the coordinator timeout
+        traceback.print_exc(file=sys.stderr)
+        os._exit(1)
+
+
+# ---------------------------------------------------------------------- coordinator
+@dataclass
+class _WorkerLink:
+    """Coordinator-side view of one connected worker."""
+
+    channel: RequestChannel
+    worker_index: int
+    address: tuple[str, int]
+    nodes: list[int] = field(default_factory=list)
+
+
+class LiveRunner:
+    """Coordinates one live run: spawn, bootstrap, step, collect."""
+
+    def __init__(self, setup: RunSetup, collection_name: str,
+                 max_extra_cycles: int = 50) -> None:
+        self.setup = setup
+        self.collection_name = collection_name
+        self.max_extra_cycles = max_extra_cycles
+        config = setup.config
+        self.n_processes = min(config.runtime.processes, setup.n_participants)
+        self.shards = [
+            [node_id for node_id in range(setup.n_participants)
+             if node_id % self.n_processes == worker]
+            for worker in range(self.n_processes)
+        ]
+
+    # ------------------------------------------------------------------ lifecycle
+    def run(self) -> "LiveRunOutcome":
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ProtocolError(
+                "the live runner needs fork-based process spawning (the worker "
+                "processes inherit the threshold key material from the "
+                "coordinator); this platform does not provide it"
+            ) from exc
+        runtime = self.setup.config.runtime
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((runtime.host, runtime.base_port))
+        listener.listen(self.n_processes)
+        address = listener.getsockname()[:2]
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(worker, self.setup, self.shards[worker], address),
+                daemon=True,
+            )
+            for worker in range(self.n_processes)
+        ]
+        for process in processes:
+            process.start()
+        try:
+            return asyncio.run(
+                asyncio.wait_for(self._coordinate(listener), runtime.run_timeout)
+            )
+        except asyncio.TimeoutError as exc:
+            raise ProtocolError(
+                f"live run exceeded runtime.run_timeout={runtime.run_timeout}s"
+            ) from exc
+        finally:
+            listener.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=5.0)
+
+    async def _coordinate(self, listener: socket.socket) -> "LiveRunOutcome":
+        setup = self.setup
+        stats = SocketStats()
+        directory = MembershipDirectory()
+        links: dict[int, _WorkerLink] = {}
+        connected = asyncio.Event()
+        pump_tasks: list[asyncio.Task] = []
+
+        def link_handler(link_box: list) -> Callable[[Envelope], Awaitable[Envelope | None]]:
+            async def handle(envelope: Envelope) -> Envelope | None:
+                header = envelope.header
+                op = header.get("op")
+                if op == "hello":
+                    link = link_box[0]
+                    link.worker_index = int(header["worker"])
+                    link.address = (header["address"][0], int(header["address"][1]))
+                    link.nodes = [int(node) for node in header["nodes"]]
+                    links[link.worker_index] = link
+                    if len(links) == self.n_processes:
+                        connected.set()
+                    return None
+                if op == "announce" and envelope.kind == KIND_FRAME:
+                    address = header.get("address")
+                    directory.feed(
+                        envelope.payload,
+                        address=(address[0], int(address[1])) if address else None,
+                        worker=header.get("worker"),
+                    )
+                    return None
+                raise ProtocolError(f"unexpected worker record {op!r}")
+            return handle
+
+        async def accept(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            link = _WorkerLink(
+                channel=None,  # type: ignore[arg-type]
+                worker_index=-1, address=("", 0),
+            )
+            box = [link]
+            channel = RequestChannel(
+                FrameConnection(reader, writer, stats), link_handler(box)
+            )
+            link.channel = channel
+            pump_tasks.append(asyncio.create_task(channel.pump()))
+
+        def raise_if_a_link_died() -> None:
+            # A pump task that finished during bootstrap — handler error or
+            # plain EOF from a crashed worker — would otherwise leave the
+            # coordinator polling until run_timeout with no root cause.
+            for task in pump_tasks:
+                if task.done():
+                    error = task.exception()
+                    if error is not None:
+                        raise error
+                    raise ProtocolError(
+                        "a worker connection closed during bootstrap "
+                        "(see the worker's stderr for its traceback)"
+                    )
+
+        server = await asyncio.start_server(accept, sock=listener)
+        try:
+            while not connected.is_set():
+                raise_if_a_link_died()
+                await asyncio.sleep(0.01)
+            # Wait for every membership announcement, then replay the full
+            # directory (late-joiner catch-up included) and the key frame.
+            while len(directory) < setup.n_participants:
+                raise_if_a_link_died()
+                await asyncio.sleep(0.01)
+            key_frame = key_announcement_for(setup.backend).serialize()
+            for link in links.values():
+                for frame, address, worker in directory.snapshot():
+                    await link.channel.notify(Envelope(
+                        kind=KIND_FRAME, correlation_id=0,
+                        header={"op": "announce", "worker": worker,
+                                "address": list(address) if address else None},
+                        payload=frame,
+                    ))
+                reply = await link.channel.request(Envelope(
+                    kind=KIND_FRAME, correlation_id=0,
+                    header={"op": "key"}, payload=key_frame,
+                ))
+                if not reply.header.get("ok"):
+                    raise ProtocolError(
+                        f"worker {link.worker_index} rejected the key announcement"
+                    )
+            for link in links.values():
+                reply = await link.channel.request(Envelope(
+                    kind=KIND_CONTROL, correlation_id=0,
+                    header={"op": "bootstrap-done",
+                            "n_nodes": setup.n_participants},
+                ))
+                if not reply.header.get("ready"):
+                    raise ProtocolError(
+                        f"worker {link.worker_index} failed to bootstrap"
+                    )
+
+            # Replay the cycle engine's scheduler stream: same permutations,
+            # same global stepping order, one participant at a time.
+            owner = {
+                node_id: links[node_id % self.n_processes]
+                for node_id in range(setup.n_participants)
+            }
+            scheduler = RngRegistry(setup.config.simulation.seed).stream(
+                "engine.scheduler"
+            )
+            done = [False] * setup.n_participants
+            max_cycles = plan_max_cycles(setup.config, self.max_extra_cycles)
+            cycles_run = 0
+            for _ in range(max_cycles):
+                order = scheduler.permutation(setup.n_participants)
+                for node_index in order:
+                    node_id = int(node_index)
+                    reply = await owner[node_id].channel.request(Envelope(
+                        kind=KIND_CONTROL, correlation_id=0,
+                        header={"op": "step", "node": node_id},
+                    ))
+                    done[node_id] = bool(reply.header.get("done"))
+                cycles_run += 1
+                if all(done):
+                    break
+
+            collected: list[dict[str, Any]] = []
+            for link in links.values():
+                reply = await link.channel.request(Envelope(
+                    kind=KIND_CONTROL, correlation_id=0,
+                    header={"op": "collect"},
+                ))
+                collected.append(reply.header)
+            for link in links.values():
+                await link.channel.notify(Envelope(
+                    kind=KIND_CONTROL, correlation_id=0,
+                    header={"op": "shutdown"},
+                ))
+            return LiveRunOutcome(
+                workers=collected,
+                cycles_run=cycles_run,
+                coordinator_socket=stats.as_dict(),
+            )
+        finally:
+            for task in pump_tasks:
+                task.cancel()
+            server.close()
+
+
+@dataclass(frozen=True)
+class LiveRunOutcome:
+    """Raw per-worker collection of one live run, before result assembly."""
+
+    workers: list[dict[str, Any]]
+    cycles_run: int
+    coordinator_socket: dict[str, int]
+
+
+# ---------------------------------------------------------------------- assembly
+def _rebuild_log(setup: RunSetup, collection_name: str,
+                 nodes: list[dict[str, Any]]) -> ExecutionLog:
+    """Rebuild the per-iteration execution log from collected histories.
+
+    Mirrors the cycle runner's observer, with one documented gap: per
+    iteration cost deltas are not tracked across processes, so each
+    record's ``costs`` dictionary is empty (totals live in the
+    :class:`~repro.core.result.CostSummary`).
+    """
+    log = ExecutionLog(metadata=run_log_metadata(setup, collection_name))
+    by_id = {int(node["node"]): node for node in nodes}
+    ordered = [by_id[node_id] for node_id in sorted(by_id)]
+    data = setup.data
+    n_clusters = setup.initial_centroids.shape[0]
+    previous = setup.initial_centroids.copy()
+    completed = max(len(node["perturbed_means_history"]) for node in ordered)
+    for index in range(completed):
+        reporter = next(
+            node for node in ordered
+            if len(node["perturbed_means_history"]) > index
+        )
+        perturbed = np.asarray(reporter["perturbed_means_history"][index], dtype=float)
+        means = perturbed.copy()
+        assignments = [
+            (int(node["node"]), node["assignment_history"][index])
+            for node in ordered
+            if len(node["assignment_history"]) > index
+        ]
+        for cluster in range(n_clusters):
+            member_ids = [nid for nid, assigned in assignments if assigned == cluster]
+            if member_ids:
+                means[cluster] = data[member_ids].mean(axis=0)
+        tracked = {
+            node_id: by_id[node_id]["assignment_history"][index]
+            for node_id in setup.tracked_ids
+            if len(by_id[node_id]["assignment_history"]) > index
+        }
+        epsilon = 0.0
+        if index < len(reporter["spends"]):
+            epsilon = float(reporter["spends"][index]["epsilon"])
+        log.append(IterationRecord(
+            iteration=index + 1,
+            epsilon_spent=epsilon,
+            centroids_before=previous.copy(),
+            perturbed_means=perturbed.copy(),
+            noise_free_means=means,
+            displacement=float(reporter["displacement_history"][index]),
+            tracked_assignments=tracked,
+            costs={},
+        ))
+        previous = perturbed.copy()
+    return log
+
+
+def run_live_chiaroscuro(
+    collection: TimeSeriesCollection,
+    config: ChiaroscuroConfig | None = None,
+    normalize: bool = True,
+    n_tracked_participants: int = 4,
+    max_extra_cycles: int = 50,
+) -> Any:
+    """Run the protocol over real sockets and return a ChiaroscuroResult.
+
+    The entry point behind ``runtime.mode="live"`` (and the CLI's
+    ``--live``).  Accepts the same arguments as
+    :func:`~repro.core.runner.run_chiaroscuro` and returns the same result
+    type, with ``metadata["live"]`` carrying the runner's process/socket
+    statistics: the protocol byte accounting (``costs.bytes_sent``) is
+    measured on-socket frame lengths, while ``metadata["live"]["socket"]``
+    additionally reports total socket I/O including envelope and
+    control-plane overhead.
+    """
+    config = config if config is not None else ChiaroscuroConfig()
+    if config.runtime.mode != "live":
+        config = config.with_overrides(runtime={"mode": "live"})
+    setup = build_run_setup(
+        collection, config, normalize=normalize,
+        n_tracked_participants=n_tracked_participants,
+    )
+    runner = LiveRunner(setup, collection.name, max_extra_cycles=max_extra_cycles)
+    outcome = runner.run()
+
+    nodes: list[dict[str, Any]] = []
+    crypto_totals: dict[str, int] = {}
+    traffic = TrafficStats()
+    socket_totals: dict[str, int] = {}
+    for worker in outcome.workers:
+        nodes.extend(worker["nodes"])
+        for key, value in worker["crypto"].items():
+            crypto_totals[key] = crypto_totals.get(key, 0) + int(value)
+        for key, value in worker["socket"].items():
+            socket_totals[key] = socket_totals.get(key, 0) + int(value)
+        for node in worker["nodes"]:
+            for key, value in node["traffic"].items():
+                setattr(traffic, key, getattr(traffic, key) + int(value))
+    if len(nodes) != setup.n_participants:
+        raise ProtocolError(
+            f"collected {len(nodes)} of {setup.n_participants} participants"
+        )
+    outcomes = [
+        ParticipantOutcome(
+            node_id=int(node["node"]),
+            profiles=np.asarray(
+                node["final_profiles"] if node["final_profiles"] is not None
+                else node["centroids"],
+                dtype=float,
+            ),
+            stop_reason=node["stop_reason"] or "unfinished",
+            spent_epsilon=float(node["spent_epsilon"]),
+            iteration=int(node["iteration"]),
+        )
+        for node in nodes
+    ]
+    log = _rebuild_log(setup, collection.name, nodes)
+    extra_metadata = {
+        "live": {
+            "processes": runner.n_processes,
+            "cycles_run": outcome.cycles_run,
+            "socket": socket_totals,
+            "coordinator_socket": outcome.coordinator_socket,
+        },
+    }
+    return assemble_result(
+        setup,
+        collection.name,
+        outcomes,
+        messages_sent=traffic.messages_sent,
+        bytes_sent=traffic.bytes_sent,
+        bytes_modelled=traffic.bytes_modelled,
+        crypto_counts=crypto_totals,
+        log=log,
+        extra_metadata=extra_metadata,
+    )

@@ -1,0 +1,121 @@
+"""The :class:`Transport` abstraction: delivery plus authoritative accounting.
+
+A transport moves protocol messages between participants and is the *single*
+place where traffic is counted.  Two implementations exist:
+
+* :class:`LoopbackTransport` — the deterministic in-memory delivery the
+  cycle-driven simulation has always used.  :meth:`CycleEngine.send` and
+  :meth:`CycleEngine.transmit` delegate here verbatim, so refactoring the
+  seam out of the engine changed no behaviour: results, logs and byte
+  counts are bit-identical to the pre-transport engine.
+* :class:`~repro.net.live.WorkerTransport` (in :mod:`repro.net.live`) — the
+  asyncio TCP transport of the multi-process runner, which moves the same
+  serialized frames over real sockets between OS processes.
+
+The accounting rule both implementations follow (the "one authoritative
+byte-count site"): a message's ``messages_sent``/``bytes_sent``/
+``bytes_modelled`` are charged exactly once, by the transport, at the
+sending side (``Network.account_send``); ``messages_received``/
+``bytes_received`` exactly once at the receiving side
+(``Network.account_receive``).  Protocol code never touches the counters.
+In the cycle simulation both sides live in one process; in the live runner
+each side runs on the worker hosting that node, so per-node counters are
+owned by exactly one process and aggregate without double counting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..exceptions import SimulationError
+from ..simulation.network import Message, Network, TrafficStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..simulation.engine import CycleEngine
+
+
+class Transport(ABC):
+    """Moves protocol messages and owns the traffic counters.
+
+    ``send`` carries an opaque object payload with a declared (modelled)
+    size — the historical simulation path; ``transmit`` carries a serialized
+    wire frame whose *measured* length is charged.  Both return delivery
+    information the protocol layer can react to (loss, offline peer).
+    """
+
+    @abstractmethod
+    def send(self, sender: int, recipient: int, kind: str, payload: object,
+             size_bytes: int = 0) -> bool:
+        """Deliver an object payload; return False on loss/offline recipient."""
+
+    @abstractmethod
+    def transmit(self, sender: int, recipient: int, kind: str, frame: bytes,
+                 modelled_bytes: int | None = None) -> bytes | None:
+        """Deliver a byte frame; return the bytes as received (None on loss)."""
+
+    @abstractmethod
+    def stats_for(self, node_id: int) -> TrafficStats:
+        """Traffic counters of one node."""
+
+    @property
+    @abstractmethod
+    def total(self) -> TrafficStats:
+        """Aggregate traffic counters."""
+
+
+class LoopbackTransport(Transport):
+    """Deterministic in-process delivery backed by a :class:`Network` ledger.
+
+    This is the cycle engine's transport: delivery is synchronous (the
+    recipient's ``receive`` hook runs before the call returns), loss and
+    corruption come from the network fault models, and the accounting site
+    is the wrapped :class:`Network`.  The implementation is the exact code
+    that used to live inside ``CycleEngine.send``/``CycleEngine.transmit``.
+    """
+
+    def __init__(self, engine: "CycleEngine", network: Network) -> None:
+        self._engine = engine
+        self.network = network
+
+    # ------------------------------------------------------------------ delivery
+    def send(self, sender: int, recipient: int, kind: str, payload: object,
+             size_bytes: int = 0) -> bool:
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind, payload=payload,
+            size_bytes=size_bytes,
+        )
+        delivered = self.network.send(message)
+        recipient_node = self._engine.node(recipient)
+        if not delivered or not recipient_node.online:
+            return False
+        recipient_node.receive(self._engine, message)
+        return True
+
+    def transmit(self, sender: int, recipient: int, kind: str, frame: bytes,
+                 modelled_bytes: int | None = None) -> bytes | None:
+        if not isinstance(frame, (bytes, bytearray)):
+            raise SimulationError("transmit() carries serialized byte frames only")
+        frame = bytes(frame)
+        message = Message(
+            sender=sender, recipient=recipient, kind=kind, payload=frame,
+            size_bytes=len(frame), modelled_bytes=modelled_bytes,
+        )
+        delivered = self.network.send(message)
+        recipient_node = self._engine.node(recipient)
+        if not delivered or not recipient_node.online:
+            return None
+        received = self.network.maybe_corrupt(frame, sender=sender)
+        if received is not frame:
+            message = replace(message, payload=received)
+        recipient_node.receive(self._engine, message)
+        return received
+
+    # ------------------------------------------------------------------ accounting views
+    def stats_for(self, node_id: int) -> TrafficStats:
+        return self.network.stats_for(node_id)
+
+    @property
+    def total(self) -> TrafficStats:
+        return self.network.total

@@ -17,14 +17,14 @@ cycle.  :class:`CycleEngine` reproduces that model:
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import replace
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from .._validation import check_non_negative_int, check_probability
 from ..exceptions import SimulationError
-from .network import Message, Network
+from ..net.transport import LoopbackTransport
+from .network import Network
 from .node import Node
 from .observers import Observer
 from .rng import RngRegistry
@@ -77,6 +77,7 @@ class CycleEngine:
             corruption_probability=corruption_rate,
             corruption_rng=self.rng_registry.stream("network.corruption"),
         )
+        self.transport = LoopbackTransport(self, self.network)
         self.observers: list[Observer] = []
         self.current_cycle = -1
         self._scheduler_rng = self.rng_registry.stream("engine.scheduler")
@@ -151,21 +152,15 @@ class CycleEngine:
     # ------------------------------------------------------------------ messaging
     def send(self, sender: int, recipient: int, kind: str, payload: object,
              size_bytes: int = 0) -> bool:
-        """Send a message through the network; deliver it immediately.
+        """Send a message through the transport; deliver it immediately.
 
         Returns False when the network dropped the message or the recipient
-        is offline (the message still counts as sent).
+        is offline (the message still counts as sent).  Delegates to the
+        engine's :class:`~repro.net.transport.LoopbackTransport`, which owns
+        delivery and the authoritative traffic accounting.
         """
-        message = Message(
-            sender=sender, recipient=recipient, kind=kind, payload=payload,
-            size_bytes=size_bytes,
-        )
-        delivered = self.network.send(message)
-        recipient_node = self.node(recipient)
-        if not delivered or not recipient_node.online:
-            return False
-        recipient_node.receive(self, message)
-        return True
+        return self.transport.send(sender, recipient, kind, payload,
+                                   size_bytes=size_bytes)
 
     def transmit(self, sender: int, recipient: int, kind: str, frame: bytes,
                  modelled_bytes: int | None = None) -> bytes | None:
@@ -178,24 +173,11 @@ class CycleEngine:
         (possibly bit-flipped, when the corruption fault model is active)
         frame bytes otherwise.  *modelled_bytes* optionally records what the
         historical size formula would have charged, feeding the
-        measured-vs-modelled byte accounting.
+        measured-vs-modelled byte accounting.  Delegates to the engine's
+        :class:`~repro.net.transport.LoopbackTransport`.
         """
-        if not isinstance(frame, (bytes, bytearray)):
-            raise SimulationError("transmit() carries serialized byte frames only")
-        frame = bytes(frame)
-        message = Message(
-            sender=sender, recipient=recipient, kind=kind, payload=frame,
-            size_bytes=len(frame), modelled_bytes=modelled_bytes,
-        )
-        delivered = self.network.send(message)
-        recipient_node = self.node(recipient)
-        if not delivered or not recipient_node.online:
-            return None
-        received = self.network.maybe_corrupt(frame, sender=sender)
-        if received is not frame:
-            message = replace(message, payload=received)
-        recipient_node.receive(self, message)
-        return received
+        return self.transport.transmit(sender, recipient, kind, frame,
+                                       modelled_bytes=modelled_bytes)
 
     # ------------------------------------------------------------------ observers
     def add_observer(self, observer: Observer) -> None:

@@ -161,11 +161,14 @@ class Network:
         if not 0 <= node_id < self.n_nodes:
             raise SimulationError(f"node id {node_id} outside [0, {self.n_nodes})")
 
-    def send(self, message: Message) -> bool:
-        """Deliver *message*; return False when it was dropped.
+    def account_send(self, message: Message) -> bool:
+        """Account *message* to its sender; return False when it was dropped.
 
-        Sending is always accounted to the sender; reception only when the
-        message is actually delivered.
+        This is the sender half of the authoritative byte-count site (see
+        :class:`~repro.net.transport.Transport`): every transport charges a
+        message's ``bytes_sent``/``bytes_modelled`` exactly once, here, at
+        the sending side.  The drop draw also lives here so that the loss
+        fault model consumes its randomness in global send order.
         """
         self._check_node(message.sender)
         self._check_node(message.recipient)
@@ -181,12 +184,32 @@ class Network:
             sender_stats.messages_dropped += 1
             self.total.messages_dropped += 1
             return False
+        return True
+
+    def account_receive(self, message: Message) -> None:
+        """Account a delivered *message* to its recipient.
+
+        The receiver half of the authoritative byte-count site: in the
+        multi-process runner this runs on the worker hosting the recipient,
+        so per-node receive counters are only ever touched by one process.
+        """
+        self._check_node(message.recipient)
         recipient_stats = self._per_node[message.recipient]
         recipient_stats.messages_received += 1
         recipient_stats.bytes_received += message.size_bytes
         self.total.messages_received += 1
         self.total.bytes_received += message.size_bytes
-        return True
+
+    def send(self, message: Message) -> bool:
+        """Deliver *message*; return False when it was dropped.
+
+        Sending is always accounted to the sender; reception only when the
+        message is actually delivered.
+        """
+        delivered = self.account_send(message)
+        if delivered:
+            self.account_receive(message)
+        return delivered
 
     def maybe_corrupt(self, payload: bytes, sender: int | None = None) -> bytes:
         """Apply the corruption fault model to a delivered byte payload.

@@ -123,7 +123,7 @@ class TestAggregateConfig:
         description = ChiaroscuroConfig().describe()
         assert set(description) == {
             "kmeans", "privacy", "crypto", "gossip", "simulation", "smoothing",
-            "network",
+            "network", "runtime",
         }
         assert description["privacy"]["epsilon"] == 1.0
 

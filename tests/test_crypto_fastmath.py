@@ -175,6 +175,93 @@ class TestBlinderPools:
             plan_pool_batch(0)
 
 
+class TestBackgroundRefill:
+    """The refill worker thread moves generation off the hot path without
+    perturbing the exact-mode randomness stream (PR 2 follow-up)."""
+
+    def test_background_pooled_ciphertexts_bit_identical_to_fresh(self):
+        """pooled == fresh still holds with the refill thread running."""
+        import time
+
+        from repro.crypto.math_utils import random_coprime
+
+        public, _private = KEYS[1]
+        n_messages = 12
+        draws = [random_coprime(public.n) for _ in range(n_messages + 8)]
+        fresh = [
+            dj.encrypt(public, m, randomness=r)
+            for m, r in zip(range(1, n_messages + 1), draws)
+        ]
+        stream = iter(draws)
+        pool = BlinderPool(PRECOMPUTED[1], batch_size=2, rng=lambda _n: next(stream))
+        pool.start_background_refill(low_water=2)
+        try:
+            pooled = []
+            for m in range(1, n_messages + 1):
+                pooled.append(
+                    dj.encrypt(public, m, precomputed=PRECOMPUTED[1], pool=pool)
+                )
+                if m == n_messages // 2:
+                    # Give the refiller a chance to interleave with takes.
+                    time.sleep(0.01)
+        finally:
+            pool.stop_background_refill()
+        assert fresh == pooled
+
+    def test_background_refill_keeps_pool_above_low_water(self):
+        import time
+
+        pool = BlinderPool(PRECOMPUTED[1], batch_size=4)
+        pool.start_background_refill(low_water=3)
+        try:
+            deadline = time.monotonic() + 5.0
+            while len(pool) <= 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(pool) > 3
+            served_target = 6
+            for _ in range(served_target):
+                pool.take()
+            assert pool.served == served_target
+        finally:
+            pool.stop_background_refill()
+        assert pool._refill_thread is None
+
+    def test_reset_discards_pooled_blinders(self):
+        """A fork-inherited pool must be cleared before first use: shared
+        blinders would make two processes' ciphertexts linkable."""
+        pool = BlinderPool(PRECOMPUTED[1], batch_size=3)
+        pool.refill()
+        assert len(pool) == 3
+        pool.reset()
+        assert len(pool) == 0
+        # The next take still works (fresh synchronous refill).
+        pool.take()
+        assert pool.served == 1
+
+    def test_start_and_stop_are_idempotent(self):
+        pool = BlinderPool(PRECOMPUTED[1], batch_size=2)
+        pool.start_background_refill()
+        pool.start_background_refill()
+        pool.stop_background_refill()
+        pool.stop_background_refill()
+        with pytest.raises(CryptoError):
+            pool.start_background_refill(low_water=0)
+
+    def test_configure_pool_background_starts_thread(self):
+        backend = make_backend(
+            "damgard_jurik", key_bits=128, threshold=2, n_shares=3,
+            fastmath="auto",
+        )
+        try:
+            backend.configure_pool(8, background=True)
+            assert backend._pool._refill_thread is not None
+            vector = backend.encrypt_vector([0.25, 0.5])
+            decrypted = backend.decrypt_with_shares(vector, [1, 2])
+            assert decrypted == pytest.approx([0.25, 0.5], abs=1e-5)
+        finally:
+            backend._pool.stop_background_refill()
+
+
 class TestMultiExponentiation:
     @given(
         bases=st.lists(st.integers(min_value=2, max_value=2**64), min_size=1, max_size=9),

@@ -1,0 +1,152 @@
+"""End-to-end tests of the multi-process live runner.
+
+The headline guarantee: a live run over real TCP sockets produces the same
+clustering results — profiles, assignments, iterations, message and byte
+totals — as the cycle simulation with the same seed, because the
+coordinator replays the cycle engine's scheduler stream and homomorphic
+averaging commutes in the plaintexts (see the determinism notes in
+:mod:`repro.net.live`).
+
+These tests fork worker processes and open loopback sockets; they are kept
+tiny (8 participants, 2 workers) so the whole file stays in CI-smoke
+territory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ChiaroscuroConfig
+from repro.core.runner import run_chiaroscuro
+from repro.datasets import load_dataset
+from repro.exceptions import ConfigurationError, ReproError
+
+
+def _config(mode: str, processes: int = 2) -> ChiaroscuroConfig:
+    return ChiaroscuroConfig().with_overrides(
+        kmeans={"n_clusters": 2, "max_iterations": 3},
+        privacy={"epsilon": 2.0, "noise_shares": 4},
+        gossip={"cycles_per_aggregation": 4},
+        crypto={"backend": "plain", "threshold": 3, "n_key_shares": 4},
+        simulation={"n_participants": 8, "seed": 0},
+        runtime={"mode": mode, "processes": processes, "run_timeout": 120.0},
+    )
+
+
+def _collection():
+    return load_dataset("gaussian", n_series=8, series_length=6, n_clusters=2,
+                        seed=3)
+
+
+class TestLiveVsCycleEquivalence:
+    @pytest.fixture(scope="class")
+    def results(self):
+        cycle = run_chiaroscuro(_collection(), _config("cycle"))
+        live = run_chiaroscuro(_collection(), _config("live"))
+        return cycle, live
+
+    def test_profiles_are_identical(self, results):
+        cycle, live = results
+        assert np.array_equal(cycle.profiles, live.profiles)
+        for node_id, profile in cycle.per_participant_profiles.items():
+            assert np.array_equal(profile, live.per_participant_profiles[node_id])
+
+    def test_assignments_and_quality_are_identical(self, results):
+        cycle, live = results
+        assert np.array_equal(cycle.assignments, live.assignments)
+        assert cycle.inertia == live.inertia
+        assert cycle.n_iterations == live.n_iterations
+        assert cycle.stop_reasons == live.stop_reasons
+        assert cycle.epsilon_spent == live.epsilon_spent
+
+    def test_measured_socket_bytes_match_cycle_accounting(self, results):
+        """Same frames, same exchanges ⇒ same protocol traffic, measured on
+        the sockets this time."""
+        cycle, live = results
+        assert live.costs.messages_sent == cycle.costs.messages_sent
+        assert live.costs.bytes_sent == cycle.costs.bytes_sent
+        assert live.costs.bytes_sent_modelled == cycle.costs.bytes_sent_modelled
+        assert live.costs.encryptions == cycle.costs.encryptions
+        assert live.costs.partial_decryptions == cycle.costs.partial_decryptions
+
+    def test_live_metadata_reports_the_runner(self, results):
+        _, live = results
+        meta = live.metadata["live"]
+        assert meta["processes"] == 2
+        assert meta["cycles_run"] >= live.n_iterations
+        # Control-plane + envelope overhead is reported separately from the
+        # protocol byte accounting and is non-trivial.
+        assert meta["socket"]["bytes_sent"] > 0
+        assert meta["coordinator_socket"]["records_sent"] > 0
+
+    def test_execution_log_mirrors_the_iterations(self, results):
+        cycle, live = results
+        assert len(live.log) == len(cycle.log)
+        for cycle_record, live_record in zip(cycle.log, live.log):
+            assert cycle_record.iteration == live_record.iteration
+            assert cycle_record.epsilon_spent == live_record.epsilon_spent
+            assert np.array_equal(cycle_record.perturbed_means,
+                                  live_record.perturbed_means)
+            assert cycle_record.displacement == live_record.displacement
+            assert cycle_record.tracked_assignments == live_record.tracked_assignments
+
+
+class TestLiveRunnerShapes:
+    def test_single_process_live_run_works(self):
+        live = run_chiaroscuro(_collection(), _config("live", processes=1))
+        cycle = run_chiaroscuro(_collection(), _config("cycle"))
+        assert np.array_equal(cycle.profiles, live.profiles)
+        assert live.metadata["live"]["processes"] == 1
+
+    def test_more_processes_than_participants_are_clamped(self):
+        collection = load_dataset("gaussian", n_series=4, series_length=4,
+                                  n_clusters=2, seed=1)
+        config = ChiaroscuroConfig().with_overrides(
+            kmeans={"n_clusters": 2, "max_iterations": 2},
+            privacy={"noise_shares": 2},
+            gossip={"cycles_per_aggregation": 3},
+            crypto={"backend": "plain", "threshold": 2, "n_key_shares": 2},
+            simulation={"n_participants": 4, "seed": 1},
+            runtime={"mode": "live", "processes": 9, "run_timeout": 120.0},
+        )
+        result = run_chiaroscuro(collection, config)
+        assert result.metadata["live"]["processes"] == 4
+
+
+class TestLiveConfigValidation:
+    def test_live_requires_the_wire_format(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(
+                runtime={"mode": "live"}, network={"wire": "off"},
+            )
+
+    def test_live_rejects_fault_models_for_now(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(
+                runtime={"mode": "live"}, simulation={"churn_rate": 0.1},
+            )
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(
+                runtime={"mode": "live"}, gossip={"drop_probability": 0.1},
+            )
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(
+                runtime={"mode": "live"}, network={"corruption_rate": 0.1},
+            )
+
+    def test_runtime_section_validates(self):
+        with pytest.raises(ReproError):
+            ChiaroscuroConfig().with_overrides(runtime={"mode": "warp"})
+        with pytest.raises(ReproError):
+            ChiaroscuroConfig().with_overrides(runtime={"processes": 0})
+        with pytest.raises(ReproError):
+            ChiaroscuroConfig().with_overrides(runtime={"base_port": 1 << 17})
+        # Worker i binds base_port + 1 + i: the whole range must fit.
+        with pytest.raises(ReproError):
+            ChiaroscuroConfig().with_overrides(
+                runtime={"base_port": 65535, "processes": 2}
+            )
+        ChiaroscuroConfig().with_overrides(
+            runtime={"base_port": 65530, "processes": 2}
+        )

@@ -11,48 +11,60 @@ as a full-scale deployment.  This benchmark regenerates both directions:
   sizes;
 * the realised probabilistic guarantee (ε', δ) is reported for each run
   (claim C1: "a high level of privacy can be reached").
+
+Since PR 5 the sweeps are thin wrappers over the experiment subsystem: each
+direction is an :class:`~repro.experiments.ExperimentSpec` (the correlated
+population/ε direction uses explicit ``cells``, the rest a ``sweep`` axis)
+executed by the parallel runner — the same machinery behind
+``repro experiment run --spec examples/scenarios/population_scaling.json``.
 """
 
 from __future__ import annotations
 
 from conftest import run_once
 
-from repro.analysis import centralized_reference, evaluate_result, format_table
-from repro.core import run_chiaroscuro
-from repro.datasets import generate_gaussian_clusters
+from repro.analysis import format_table
+from repro.experiments import (
+    ExperimentSpec,
+    ResultStore,
+    comparison_rows,
+    run_experiment,
+)
 
 POPULATIONS = [40, 80, 160]
 
+_BASE = {
+    "kmeans": {"n_clusters": 4, "max_iterations": 5},
+    "privacy": {"epsilon": 2.0, "noise_shares": 32},
+    "gossip": {"cycles_per_aggregation": 10},
+    "crypto": {"threshold": 3, "n_key_shares": 6},
+}
 
-def _collection(n: int):
-    return generate_gaussian_clusters(
-        n_series=n, series_length=24, n_clusters=4, noise_std=0.05, seed=300,
+_DATASET_PARAMS = {"n_clusters": 4, "noise_std": 0.05}
+
+
+def _sweep(spec: ExperimentSpec, store_path, metrics: list[str]) -> list[dict]:
+    store = ResultStore(store_path)
+    progress = run_experiment(spec, store, jobs=2)
+    assert progress.failed == 0, progress.failures
+    return comparison_rows(spec, store, metrics=metrics)
+
+
+def test_quality_vs_population_at_fixed_epsilon(benchmark, tmp_path):
+    spec = ExperimentSpec(
+        name="bench_population_scaling_fixed_epsilon",
+        dataset="gaussian",
+        dataset_params=dict(_DATASET_PARAMS),
+        participants=POPULATIONS[0],
+        base=_BASE,
+        sweep={"participants": POPULATIONS},
+        base_seed=300,
+        metrics={"label_key": "cluster"},
     )
-
-
-def test_quality_vs_population_at_fixed_epsilon(benchmark, bench_config):
-    def sweep():
-        rows = []
-        for population in POPULATIONS:
-            collection = _collection(population)
-            config = bench_config.with_overrides(
-                simulation={"n_participants": population},
-                privacy={"epsilon": 2.0},
-                kmeans={"n_clusters": 4, "max_iterations": 5},
-            )
-            result = run_chiaroscuro(collection, config)
-            reference = centralized_reference(collection, config)
-            report = evaluate_result(collection, config, result, reference, "cluster")
-            rows.append({
-                "n_participants": population,
-                "relative_inertia": report["relative_inertia"],
-                "adjusted_rand_index": report.get("adjusted_rand_index", float("nan")),
-                "effective_epsilon": result.guarantee.effective_epsilon,
-                "delta": result.guarantee.delta,
-            })
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    rows = run_once(
+        benchmark, _sweep, spec, tmp_path / "e10a.jsonl",
+        ["relative_inertia", "adjusted_rand_index", "effective_epsilon", "delta"],
+    )
     print()
     print(format_table(
         rows, title="E10a - quality vs population size at fixed epsilon=2",
@@ -62,76 +74,64 @@ def test_quality_vs_population_at_fixed_epsilon(benchmark, bench_config):
     assert rows[-1]["relative_inertia"] <= rows[0]["relative_inertia"] * 1.2
 
 
-def test_packed_ciphertexts_cut_costs_without_changing_results(benchmark, bench_config):
+def test_packed_ciphertexts_cut_costs_without_changing_results(benchmark, tmp_path):
     """Packing is a pure cost optimisation: identical output, fewer bigint ops.
 
     The packed run must produce bit-identical profiles (the fixed-point
     arithmetic is exact in both layouts) while the operation counters and the
-    network volume drop by roughly the slot count.
+    network volume drop by roughly the slot count.  The identity check reads
+    the ``profiles_digest`` the result store records for every cell.
     """
-    collection = _collection(POPULATIONS[0])
-
-    def sweep():
-        rows = []
-        results = {}
-        for packing in ("off", "auto"):
-            config = bench_config.with_overrides(
-                simulation={"n_participants": POPULATIONS[0]},
-                privacy={"epsilon": 2.0},
-                kmeans={"n_clusters": 4, "max_iterations": 5},
-                crypto={"packing": packing},
-            )
-            result = run_chiaroscuro(collection, config)
-            results[packing] = result
-            rows.append({
-                "packing": packing,
-                "slots": result.metadata["packing"]["slots"],
-                "encryptions": result.costs.encryptions,
-                "homomorphic_additions": result.costs.homomorphic_additions,
-                "bytes_sent": result.costs.bytes_sent,
-                "messages_sent": result.costs.messages_sent,
-            })
-        assert (results["off"].profiles == results["auto"].profiles).all()
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    spec = ExperimentSpec(
+        name="bench_population_scaling_packing",
+        dataset="gaussian",
+        dataset_params=dict(_DATASET_PARAMS),
+        participants=POPULATIONS[0],
+        base=_BASE,
+        sweep={"crypto.packing": ["off", "auto"]},
+        base_seed=300,
+        metrics={"label_key": "cluster", "reference": False},
+    )
+    rows = run_once(
+        benchmark, _sweep, spec, tmp_path / "e10c.jsonl",
+        ["profiles_digest", "encryptions", "messages_sent", "bytes_sent"],
+    )
     print()
     print(format_table(
-        rows, title="E10c - packed ciphertexts: identical quality, smaller costs",
+        rows,
+        columns=["crypto.packing", "encryptions", "messages_sent", "bytes_sent"],
+        title="E10c - packed ciphertexts: identical quality, smaller costs",
     ))
     off, auto = rows[0], rows[1]
+    assert off["profiles_digest"] == auto["profiles_digest"]
     assert auto["encryptions"] * 4 <= off["encryptions"]
     assert auto["bytes_sent"] * 2 <= off["bytes_sent"]
 
 
-def test_demo_scaling_rule_keeps_quality_constant(benchmark, bench_config):
+def test_demo_scaling_rule_keeps_quality_constant(benchmark, tmp_path):
     """Scale ε with 1/population to keep the noise/population ratio constant."""
     base_population = POPULATIONS[0]
     base_epsilon = 4.0
-
-    def sweep():
-        rows = []
-        for population in POPULATIONS:
-            collection = _collection(population)
-            epsilon = base_epsilon * base_population / population
-            config = bench_config.with_overrides(
-                simulation={"n_participants": population},
-                privacy={"epsilon": epsilon},
-                kmeans={"n_clusters": 4, "max_iterations": 5},
-            )
-            result = run_chiaroscuro(collection, config)
-            reference = centralized_reference(collection, config)
-            report = evaluate_result(collection, config, result, reference, "cluster")
-            rows.append({
-                "n_participants": population,
-                "epsilon": epsilon,
-                "relative_inertia": report["relative_inertia"],
-                "effective_epsilon": result.guarantee.effective_epsilon,
-                "delta": result.guarantee.delta,
-            })
-        return rows
-
-    rows = run_once(benchmark, sweep)
+    spec = ExperimentSpec(
+        name="bench_population_scaling_demo_rule",
+        dataset="gaussian",
+        dataset_params=dict(_DATASET_PARAMS),
+        participants=base_population,
+        base=_BASE,
+        # The demo's rule correlates the two axes, which a cartesian sweep
+        # cannot express: enumerate the (population, ε) pairs explicitly.
+        cells=[
+            {"participants": population,
+             "privacy.epsilon": base_epsilon * base_population / population}
+            for population in POPULATIONS
+        ],
+        base_seed=300,
+        metrics={"label_key": "cluster"},
+    )
+    rows = run_once(
+        benchmark, _sweep, spec, tmp_path / "e10b.jsonl",
+        ["relative_inertia", "effective_epsilon", "delta"],
+    )
     print()
     print(format_table(
         rows,

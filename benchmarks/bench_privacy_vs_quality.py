@@ -5,6 +5,13 @@ perturbed centroids (relative intra-cluster inertia against a centralised
 k-means, plus the adjusted Rand index against the generator's ground truth)
 as the total differential-privacy budget ε varies.
 
+Since PR 5 this benchmark is a thin wrapper over the experiment subsystem
+(:mod:`repro.experiments`): it declares the ε sweep as an
+:class:`~repro.experiments.ExperimentSpec`, executes the scenario matrix
+through the parallel sweep runner into a throw-away result store, and reads
+the comparison rows back — the same machinery behind
+``repro experiment run --spec examples/scenarios/privacy_vs_quality.json``.
+
 Expected shape: quality degrades as ε decreases; for moderate-to-large ε the
 relative inertia approaches the centralised reference (claim C2).  Absolute
 numbers differ from the paper (population 10^2 here vs 10^3-10^6 there), but
@@ -15,41 +22,73 @@ from __future__ import annotations
 
 from conftest import run_once
 
-from repro.analysis import format_table, privacy_quality_tradeoff
+from repro.analysis import format_table
+from repro.experiments import (
+    ExperimentSpec,
+    ResultStore,
+    comparison_rows,
+    run_experiment,
+)
 
 EPSILONS = [0.5, 1.0, 2.0, 5.0, 10.0]
 
 
-def test_privacy_vs_quality_cer(benchmark, cer_collection, bench_config):
-    """ε sweep on the electricity-consumption use-case."""
-    rows = run_once(
-        benchmark, privacy_quality_tradeoff, cer_collection, bench_config, EPSILONS,
-        label_key="archetype",
+def _spec(dataset: str, label_key: str, **dataset_params) -> ExperimentSpec:
+    """The ε-sweep experiment on one dataset (mirrors the bench_config)."""
+    return ExperimentSpec(
+        name=f"bench_privacy_vs_quality_{dataset}",
+        dataset=dataset,
+        dataset_params=dict(dataset_params),
+        participants=120,
+        base={
+            "kmeans": {"n_clusters": 4, "max_iterations": 6},
+            "privacy": {"noise_shares": 32},
+            "gossip": {"cycles_per_aggregation": 10},
+            "crypto": {"threshold": 3, "n_key_shares": 6},
+        },
+        sweep={"privacy.epsilon": EPSILONS},
+        base_seed=7,
+        metrics={"label_key": label_key},
     )
+
+
+def _sweep(spec: ExperimentSpec, store_path) -> list[dict]:
+    store = ResultStore(store_path)
+    progress = run_experiment(spec, store, jobs=2)
+    assert progress.failed == 0, progress.failures
+    return comparison_rows(spec, store, metrics=[
+        "relative_inertia", "adjusted_rand_index", "centroid_matching_error",
+        "n_iterations",
+    ])
+
+
+def test_privacy_vs_quality_cer(benchmark, tmp_path):
+    """ε sweep on the electricity-consumption use-case."""
+    spec = _spec("cer", "archetype")
+    rows = run_once(benchmark, _sweep, spec, tmp_path / "e1a.jsonl")
     print()
     print(format_table(
         rows,
-        columns=["epsilon", "relative_inertia", "adjusted_rand_index",
+        columns=["privacy.epsilon", "relative_inertia", "adjusted_rand_index",
                  "centroid_matching_error", "n_iterations"],
         title="E1a - privacy vs quality (CER-like, relative to centralized k-means)",
     ))
     benchmark.extra_info["rows"] = [
-        {key: row[key] for key in ("epsilon", "relative_inertia")} for row in rows
+        {"epsilon": row["privacy.epsilon"], "relative_inertia": row["relative_inertia"]}
+        for row in rows
     ]
     # Reproduced shape: more budget never hurts quality by more than noise.
     assert rows[-1]["relative_inertia"] <= rows[0]["relative_inertia"] * 1.5
 
 
-def test_privacy_vs_quality_numed(benchmark, numed_collection, bench_config):
+def test_privacy_vs_quality_numed(benchmark, tmp_path):
     """ε sweep on the tumor-growth use-case (the demo's first GUI scenario)."""
-    rows = run_once(
-        benchmark, privacy_quality_tradeoff, numed_collection, bench_config, EPSILONS,
-        label_key="archetype",
-    )
+    spec = _spec("numed", "archetype")
+    rows = run_once(benchmark, _sweep, spec, tmp_path / "e1b.jsonl")
     print()
     print(format_table(
         rows,
-        columns=["epsilon", "relative_inertia", "adjusted_rand_index",
+        columns=["privacy.epsilon", "relative_inertia", "adjusted_rand_index",
                  "centroid_matching_error", "n_iterations"],
         title="E1b - privacy vs quality (NUMED-like, relative to centralized k-means)",
     ))

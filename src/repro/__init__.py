@@ -53,9 +53,28 @@ from .datasets import (
     generate_gaussian_clusters,
     generate_numed_like,
     load_dataset,
+    load_dataset_for_population,
 )
 from .exceptions import ReproError
 from .timeseries import TimeSeries, TimeSeriesCollection
+
+#: Experiment-subsystem names re-exported lazily (PEP 562): the sweep runner
+#: pulls in multiprocessing machinery that one-shot `import repro` users and
+#: CLI commands should not pay for.
+_EXPERIMENT_EXPORTS = (
+    "ExperimentSpec", "ResultStore", "run_experiment", "format_report",
+)
+
+
+def __getattr__(name: str):
+    if name in _EXPERIMENT_EXPORTS:
+        from . import experiments
+
+        value = getattr(experiments, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __version__ = "1.0.0"
 
@@ -86,5 +105,10 @@ __all__ = [
     "generate_numed_like",
     "generate_gaussian_clusters",
     "load_dataset",
+    "load_dataset_for_population",
+    "ExperimentSpec",
+    "ResultStore",
+    "run_experiment",
+    "format_report",
     "ReproError",
 ]

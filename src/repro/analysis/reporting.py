@@ -74,6 +74,38 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Format a list of dictionaries as a GitHub-flavoured markdown table.
+
+    The markdown sibling of :func:`format_table`, used by the experiment
+    comparison reports (CI uploads them as readable artifacts).
+    """
+    if not rows:
+        raise AnalysisError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def _cell(value: Any) -> str:
+        return format_value(value, precision=precision).replace("|", "\\|")
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(str(column) for column in columns) + " |")
+    lines.append("|" + "|".join(" --- " for _ in columns) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_cell(row.get(column, "")) for column in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
 def format_comparison(
     reports: Mapping[str, Mapping[str, Any]],
     columns: Sequence[str] | None = None,

@@ -1,13 +1,17 @@
 """Command-line interface: run Chiaroscuro experiments without writing code.
 
-Three subcommands mirror the demonstration's workflow:
+Four subcommands mirror the demonstration's workflow:
 
 * ``run`` — execute the protocol on one of the registered datasets and print
   the run summary, the profile sizes and the realised privacy guarantee;
 * ``compare`` — compare Chiaroscuro against the centralised, centralised-DP
   and plain-gossip baselines on the same dataset;
 * ``crypto-bench`` — measure the Damgård–Jurik per-operation costs for a
-  given key size and print the extrapolated per-participant cost of a run.
+  given key size and print the extrapolated per-participant cost of a run;
+* ``experiment run|report`` — execute a declarative scenario matrix (a
+  JSON/TOML experiment spec, see :mod:`repro.experiments`) in parallel
+  worker processes with resumable caching, and render the cross-scenario
+  comparison report.
 
 Examples
 --------
@@ -16,6 +20,8 @@ Examples
     python -m repro run --dataset cer --participants 100 --clusters 4 --epsilon 2
     python -m repro compare --dataset numed --participants 80 --epsilon 5
     python -m repro crypto-bench --key-bits 512 --populations 1000 1000000
+    python -m repro experiment run --spec examples/scenarios/privacy_vs_quality.json --jobs 2
+    python -m repro experiment report --spec examples/scenarios/privacy_vs_quality.json
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis import (
@@ -37,22 +44,29 @@ from .analysis import (
 from .config import ChiaroscuroConfig
 from .core import run_chiaroscuro
 from .crypto import normalize_packing
-from .datasets import available_datasets, load_dataset
+from .datasets import (
+    available_datasets,
+    dataset_size_parameter,
+    load_dataset,
+    load_dataset_for_population,
+)
 from .exceptions import ReproError
 
 
 def _dataset_from_args(args: argparse.Namespace):
-    """Instantiate the requested dataset with a size fitting the population."""
-    name = args.dataset
-    if name == "cer":
-        return load_dataset("cer", n_households=args.participants, n_days=1,
-                            readings_per_day=24, seed=args.seed)
-    if name == "numed":
-        return load_dataset("numed", n_patients=args.participants, n_weeks=20, seed=args.seed)
-    if name == "gaussian":
-        return load_dataset("gaussian", n_series=args.participants, series_length=24,
-                            n_clusters=args.clusters, seed=args.seed)
-    return load_dataset(name, seed=args.seed)
+    """Instantiate the requested dataset with a size fitting the population.
+
+    Population sizing and validation live in one place —
+    :func:`repro.datasets.load_dataset_for_population` — shared with the
+    experiment subsystem; datasets that do not declare a size parameter
+    (custom registrations) are loaded as-is with the seed only.
+    """
+    if dataset_size_parameter(args.dataset) is None:
+        return load_dataset(args.dataset, seed=args.seed)
+    extra = {"n_clusters": args.clusters} if args.dataset == "gaussian" else {}
+    return load_dataset_for_population(
+        args.dataset, args.participants, seed=args.seed, **extra,
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
@@ -214,6 +228,64 @@ def _command_crypto_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_store_path(spec_path: str) -> Path:
+    """Default result-store location of a spec: ``results/<spec-stem>.jsonl``.
+
+    Kept out of the spec directory so running example specs never litters
+    the checked-in scenario files with result stores.
+    """
+    return Path("results") / (Path(spec_path).stem + ".jsonl")
+
+
+def _command_experiment_run(args: argparse.Namespace) -> int:
+    # Deferred import: the experiment subsystem pulls in multiprocessing
+    # machinery the one-shot commands never need.
+    from .experiments import ExperimentSpec, ResultStore, run_experiment
+
+    spec = ExperimentSpec.from_file(args.spec)
+    store = ResultStore(args.store or _default_store_path(args.spec))
+    progress = None
+    if not args.quiet and not args.json:
+        def progress(message: str) -> None:
+            print(message)
+    summary = run_experiment(
+        spec, store, jobs=args.jobs, resume=args.resume,
+        timeout=args.timeout, progress=progress,
+    )
+    if args.json:
+        print(json.dumps({
+            "experiment": spec.name,
+            "spec_hash": spec.spec_hash,
+            "store": str(store.path),
+            **summary.as_dict(),
+        }, indent=2))
+    else:
+        print(f"experiment {spec.name}: {summary.executed} executed "
+              f"({summary.failed} failed), {summary.skipped} cached, "
+              f"store={store.path}")
+        for failure in summary.failures:
+            print(f"  {failure['status']}: cell {failure['cell']['index']} "
+                  f"({failure.get('error', '')})")
+    return 1 if summary.failed else 0
+
+
+def _command_experiment_report(args: argparse.Namespace) -> int:
+    from .experiments import ExperimentSpec, ResultStore, format_report
+
+    spec = ExperimentSpec.from_file(args.spec)
+    store = ResultStore(args.store or _default_store_path(args.spec))
+    report = format_report(spec, store, markdown=args.markdown)
+    if args.out:
+        out_path = Path(args.out)
+        if out_path.parent != Path(""):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(report + "\n", encoding="utf-8")
+        print(f"report written to {out_path}")
+    else:
+        print(report)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -251,6 +323,46 @@ def build_parser() -> argparse.ArgumentParser:
                                default=[10**3, 10**6])
     crypto_parser.add_argument("--json", action="store_true")
     crypto_parser.set_defaults(handler=_command_crypto_bench)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment",
+        help="run and report declarative scenario sweeps (experiment specs)",
+    )
+    experiment_sub = experiment_parser.add_subparsers(
+        dest="experiment_command", required=True
+    )
+
+    exp_run = experiment_sub.add_parser(
+        "run", help="execute a spec's scenario matrix with resumable caching"
+    )
+    exp_run.add_argument("--spec", required=True,
+                         help="experiment spec file (.json or .toml)")
+    exp_run.add_argument("--store", default=None,
+                         help="result store path (default: results/<spec>.jsonl)")
+    exp_run.add_argument("--jobs", type=int, default=1,
+                         help="scenario cells run concurrently (worker processes)")
+    exp_run.add_argument("--resume", action="store_true",
+                         help="skip cells whose results are already in the store")
+    exp_run.add_argument("--timeout", type=float, default=None,
+                         help="hard per-cell wall-clock limit in seconds")
+    exp_run.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress lines")
+    exp_run.add_argument("--json", action="store_true",
+                         help="emit a machine-readable run summary")
+    exp_run.set_defaults(handler=_command_experiment_run)
+
+    exp_report = experiment_sub.add_parser(
+        "report", help="render the cross-scenario comparison report of a spec"
+    )
+    exp_report.add_argument("--spec", required=True,
+                            help="experiment spec file (.json or .toml)")
+    exp_report.add_argument("--store", default=None,
+                            help="result store path (default: results/<spec>.jsonl)")
+    exp_report.add_argument("--markdown", action="store_true",
+                            help="emit a markdown report instead of aligned text")
+    exp_report.add_argument("--out", default=None,
+                            help="also write the report to this file")
+    exp_report.set_defaults(handler=_command_experiment_report)
     return parser
 
 

@@ -24,6 +24,13 @@ class CostSummary:
     modelled size formula otherwise.  ``bytes_sent_modelled`` always holds
     the modelled figure, so wire runs report both and the difference is the
     exact framing overhead.
+
+    ``iteration_costs`` holds the per-iteration cost deltas recorded in the
+    execution log (one mapping per protocol iteration, in order): both the
+    cycle engine and the live runner record at least ``messages_sent`` and
+    ``bytes_sent`` per iteration; the cycle engine additionally records the
+    crypto-operation deltas.  Attribution: traffic is charged to the
+    iteration the sending participant was working on.
     """
 
     n_participants: int
@@ -36,6 +43,7 @@ class CostSummary:
     combinations: int
     bytes_sent_modelled: int = 0
     wire: str = "off"
+    iteration_costs: tuple[Mapping[str, float], ...] = ()
 
     @property
     def messages_per_participant(self) -> float:
@@ -73,8 +81,17 @@ class CostSummary:
         """
         return self.byte_accounting.overhead_fraction
 
-    def as_dict(self) -> dict[str, float]:
-        """Plain dictionary view (totals and per-participant averages)."""
+    def bytes_per_iteration(self) -> list[float]:
+        """Per-iteration byte deltas (empty when no per-iteration costs)."""
+        return [float(costs.get("bytes_sent", 0.0)) for costs in self.iteration_costs]
+
+    def messages_per_iteration(self) -> list[float]:
+        """Per-iteration message deltas (empty when no per-iteration costs)."""
+        return [float(costs.get("messages_sent", 0.0)) for costs in self.iteration_costs]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain dictionary view (totals, per-participant averages and
+        per-iteration delta series)."""
         return {
             "n_participants": float(self.n_participants),
             "n_iterations": float(self.n_iterations),
@@ -89,6 +106,8 @@ class CostSummary:
             "encryptions_per_participant": self.encryptions_per_participant,
             "bytes_sent_modelled": float(self.bytes_sent_modelled),
             "wire_overhead_fraction": self.wire_overhead_fraction,
+            "iteration_bytes_sent": self.bytes_per_iteration(),
+            "iteration_messages_sent": self.messages_per_iteration(),
         }
 
 

@@ -354,6 +354,10 @@ def assemble_result(
         combinations=crypto_counts["combinations"],
         bytes_sent_modelled=bytes_modelled,
         wire=wire_info["mode"],
+        iteration_costs=tuple(
+            {str(key): float(value) for key, value in record.costs.items()}
+            for record in log
+        ),
     )
     per_participant_profiles = {
         outcome.node_id: outcome.profiles.copy() for outcome in ordered

@@ -13,7 +13,15 @@ from .numed import (
     claret_tumor_size,
     generate_numed_like,
 )
-from .registry import available_datasets, load_dataset, register_dataset
+from .registry import (
+    DatasetEntry,
+    available_datasets,
+    dataset_population_defaults,
+    dataset_size_parameter,
+    load_dataset,
+    load_dataset_for_population,
+    register_dataset,
+)
 from .synthetic import (
     GaussianClustersConfig,
     generate_constant_series,
@@ -36,6 +44,10 @@ __all__ = [
     "generate_constant_series",
     "generate_two_level_series",
     "available_datasets",
+    "dataset_population_defaults",
+    "dataset_size_parameter",
+    "DatasetEntry",
     "load_dataset",
+    "load_dataset_for_population",
     "register_dataset",
 ]

@@ -3,10 +3,19 @@
 The demonstration lets the audience switch use-case ("electrical consumption
 time-series or tumor-size growth"); the registry is the programmatic
 equivalent, so examples and benchmarks can select a dataset with a string.
+
+Besides the plain name -> factory lookup, the registry knows which generator
+parameter controls the *population size* of each dataset (``n_households``
+for CER-like data, ``n_patients`` for NUMED-like data, ``n_series`` for the
+synthetic generators).  :func:`load_dataset_for_population` is the single
+place where a requested participant count is validated and translated into
+generator parameters — the CLI and the experiment subsystem both go through
+it instead of hand-rolling per-dataset branches.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from ..exceptions import DatasetError
@@ -17,10 +26,34 @@ from .synthetic import generate_gaussian_clusters
 
 DatasetFactory = Callable[..., TimeSeriesCollection]
 
-_REGISTRY: dict[str, DatasetFactory] = {}
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One registered dataset: its factory plus population metadata.
+
+    ``size_parameter`` names the generator keyword that sets the number of
+    series (one per participant); ``None`` means the dataset has a fixed
+    size and cannot be scaled to a population.  ``population_defaults`` are
+    extra generator keywords applied by
+    :func:`load_dataset_for_population` (callers can override them), chosen
+    so that population-driven loads stay small and fast by default.
+    """
+
+    factory: DatasetFactory
+    size_parameter: str | None = None
+    population_defaults: Mapping[str, object] = field(default_factory=dict)
 
 
-def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False) -> None:
+_REGISTRY: dict[str, DatasetEntry] = {}
+
+
+def register_dataset(
+    name: str,
+    factory: DatasetFactory,
+    overwrite: bool = False,
+    size_parameter: str | None = None,
+    population_defaults: Mapping[str, object] | None = None,
+) -> None:
     """Register *factory* under *name*.
 
     Raises :class:`DatasetError` if the name is already taken and
@@ -30,7 +63,11 @@ def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False
         raise DatasetError("dataset name must not be empty")
     if name in _REGISTRY and not overwrite:
         raise DatasetError(f"dataset {name!r} is already registered")
-    _REGISTRY[name] = factory
+    _REGISTRY[name] = DatasetEntry(
+        factory=factory,
+        size_parameter=size_parameter,
+        population_defaults=dict(population_defaults or {}),
+    )
 
 
 def available_datasets() -> tuple[str, ...]:
@@ -38,21 +75,102 @@ def available_datasets() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def load_dataset(name: str, **parameters: object) -> TimeSeriesCollection:
-    """Instantiate the dataset registered under *name* with *parameters*."""
+def _entry(name: str) -> DatasetEntry:
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError as exc:
         raise DatasetError(
             f"unknown dataset {name!r}; available: {list(available_datasets())}"
         ) from exc
-    return factory(**parameters)
+
+
+def load_dataset(name: str, **parameters: object) -> TimeSeriesCollection:
+    """Instantiate the dataset registered under *name* with *parameters*."""
+    return _entry(name).factory(**parameters)
+
+
+def dataset_size_parameter(name: str) -> str | None:
+    """The generator keyword controlling *name*'s population size (or None)."""
+    return _entry(name).size_parameter
+
+
+def dataset_population_defaults(name: str) -> dict[str, object]:
+    """The extra generator keywords population-driven loads apply by default."""
+    return dict(_entry(name).population_defaults)
+
+
+def load_dataset_for_population(
+    name: str,
+    n_participants: int,
+    seed: int = 0,
+    **overrides: object,
+) -> TimeSeriesCollection:
+    """Instantiate *name* with exactly *n_participants* series.
+
+    This is the one place where a participant count is validated and mapped
+    onto the dataset's size parameter: the generated collection is checked
+    to contain exactly one series per participant, so a mismatch between
+    ``--participants`` and the generator parameters cannot silently produce
+    a run on a different population.
+
+    Parameters
+    ----------
+    name:
+        Registered dataset name.
+    n_participants:
+        Requested population size (must be a positive integer).
+    seed:
+        Generator seed.
+    overrides:
+        Extra generator keywords; they take precedence over the registered
+        ``population_defaults`` but must not try to set the size parameter
+        or the seed through the back door.
+    """
+    if not isinstance(n_participants, int) or isinstance(n_participants, bool) \
+            or n_participants <= 0:
+        raise DatasetError(
+            f"n_participants must be a positive integer, got {n_participants!r}"
+        )
+    entry = _entry(name)
+    if entry.size_parameter is None:
+        raise DatasetError(
+            f"dataset {name!r} does not declare a population size parameter; "
+            "register it with size_parameter=... or load it with load_dataset()"
+        )
+    if entry.size_parameter in overrides:
+        raise DatasetError(
+            f"dataset parameter {entry.size_parameter!r} is derived from the "
+            "population argument; pass it there instead"
+        )
+    parameters: dict[str, object] = dict(entry.population_defaults)
+    parameters.update(overrides)
+    parameters[entry.size_parameter] = n_participants
+    parameters["seed"] = seed
+    collection = entry.factory(**parameters)
+    if len(collection) != n_participants:
+        raise DatasetError(
+            f"dataset {name!r} produced {len(collection)} series for a "
+            f"population of {n_participants}"
+        )
+    return collection
 
 
 def _register_builtin() -> None:
-    register_dataset("cer", generate_cer_like, overwrite=True)
-    register_dataset("numed", generate_numed_like, overwrite=True)
-    register_dataset("gaussian", generate_gaussian_clusters, overwrite=True)
+    register_dataset(
+        "cer", generate_cer_like, overwrite=True,
+        size_parameter="n_households",
+        population_defaults={"n_days": 1, "readings_per_day": 24},
+    )
+    register_dataset(
+        "numed", generate_numed_like, overwrite=True,
+        size_parameter="n_patients",
+        population_defaults={"n_weeks": 20},
+    )
+    register_dataset(
+        "gaussian", generate_gaussian_clusters, overwrite=True,
+        size_parameter="n_series",
+        population_defaults={"series_length": 24},
+    )
 
 
 _register_builtin()

@@ -89,3 +89,7 @@ class ConvergenceError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis or reporting helper received inconsistent inputs."""
+
+
+class ExperimentError(ReproError):
+    """An experiment spec, sweep run or result store is invalid or inconsistent."""

@@ -1,0 +1,38 @@
+"""Declarative scenario & experiment subsystem.
+
+The paper's evaluation is an experiment *grid* — quality vs. privacy budget,
+scaling vs. population, resilience vs. churn, crypto cost vs. key size.
+This package turns the library from "a run" into "an evaluation campaign":
+
+* :mod:`repro.experiments.spec` — a declarative :class:`ExperimentSpec`
+  (dataset, population, config overrides, seeds, repeats) whose ``sweep``
+  axes expand into a cartesian scenario matrix, loadable from JSON/TOML or
+  built programmatically;
+* :mod:`repro.experiments.runner` — a sweep executor running scenario cells
+  in parallel worker processes with a hard per-cell timeout, deterministic
+  per-cell seeding and resumable caching against the result store;
+* :mod:`repro.experiments.store` — an append-only JSONL result store keyed
+  by the cell's spec hash, recording profile digests, quality metrics, the
+  cost summary, the privacy guarantee and wall-clock timing;
+* :mod:`repro.experiments.report` — cross-scenario comparison tables
+  (text and markdown) built on :mod:`repro.analysis.reporting`.
+
+The CLI front-end is ``repro experiment run|report --spec FILE``.
+"""
+
+from .report import comparison_rows, format_report, scenario_rows
+from .runner import ExperimentProgress, run_experiment
+from .spec import ExperimentSpec, ScenarioCell
+from .store import ResultStore, result_row
+
+__all__ = [
+    "ExperimentSpec",
+    "ScenarioCell",
+    "ExperimentProgress",
+    "run_experiment",
+    "ResultStore",
+    "result_row",
+    "scenario_rows",
+    "comparison_rows",
+    "format_report",
+]

@@ -33,8 +33,9 @@ clustering results* as ``mode="cycle"`` with the same seed — bit-identical
 for every backend, since threshold decryption is exact integer arithmetic.
 The caveats (see README "Live runner"): the two sides of a gossip exchange
 hold independently re-randomized ciphertexts rather than one shared
-object (identical plaintexts), per-iteration cost deltas are not recorded
-in the execution log, control-plane records (probes, stepping, bootstrap)
+object (identical plaintexts), per-iteration execution-log cost deltas
+cover messages/bytes but not the crypto-operation counters (which are
+process-global), control-plane records (probes, stepping, bootstrap)
 are runner overhead excluded from the protocol byte accounting, and the
 fault models (churn, loss, corruption) are not supported yet.
 """
@@ -264,6 +265,7 @@ class WorkerTransport:
         self.socket_stats = stats
         self.connect_timeout = connect_timeout
         self.ledger = Network(n_nodes=n_nodes, drop_probability=0.0)
+        self.iteration_traffic: dict[int, dict[str, float]] = {}
         self._peer_channels: dict[tuple[str, int], RequestChannel] = {}
         self._peer_tasks: list[asyncio.Task] = []
 
@@ -274,6 +276,16 @@ class WorkerTransport:
             sender=sender, recipient=recipient, kind=kind, payload=b"",
             size_bytes=size_bytes, modelled_bytes=modelled,
         ))
+        # Per-iteration cost deltas: every send is charged to the iteration
+        # its (locally hosted) sender is currently working on, mirroring the
+        # cycle engine's per-iteration execution-log records.
+        participant = self.handler.participants.get(sender)
+        if participant is not None and participant.iteration > 0:
+            bucket = self.iteration_traffic.setdefault(
+                participant.iteration, {"messages_sent": 0.0, "bytes_sent": 0.0}
+            )
+            bucket["messages_sent"] += 1.0
+            bucket["bytes_sent"] += float(size_bytes)
 
     def _account_receive(self, sender: int, recipient: int, kind: str,
                          size_bytes: int, modelled: int | None) -> None:
@@ -769,6 +781,10 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
                 ],
                 "crypto": setup.backend.counter.as_dict(),
                 "socket": stats.as_dict(),
+                "iteration_traffic": {
+                    str(iteration): dict(bucket)
+                    for iteration, bucket in transport.iteration_traffic.items()
+                },
             }
             return Envelope(kind=KIND_CONTROL, correlation_id=0,
                             header=payload, is_reply=True)
@@ -1058,12 +1074,17 @@ class LiveRunOutcome:
 
 # ---------------------------------------------------------------------- assembly
 def _rebuild_log(setup: RunSetup, collection_name: str,
-                 nodes: list[dict[str, Any]]) -> ExecutionLog:
+                 nodes: list[dict[str, Any]],
+                 iteration_traffic: dict[int, dict[str, float]] | None = None,
+                 ) -> ExecutionLog:
     """Rebuild the per-iteration execution log from collected histories.
 
-    Mirrors the cycle runner's observer, with one documented gap: per
-    iteration cost deltas are not tracked across processes, so each
-    record's ``costs`` dictionary is empty (totals live in the
+    Mirrors the cycle runner's observer.  ``iteration_traffic`` is the
+    merged per-worker message/byte accounting keyed by iteration number
+    (traffic charged to the sending node's current iteration), so each
+    record's ``costs`` carries the live-mode per-iteration deltas; the
+    crypto-operation deltas the cycle observer also records are not
+    tracked across processes (totals live in the
     :class:`~repro.core.result.CostSummary`).
     """
     log = ExecutionLog(metadata=run_log_metadata(setup, collection_name))
@@ -1097,6 +1118,7 @@ def _rebuild_log(setup: RunSetup, collection_name: str,
         epsilon = 0.0
         if index < len(reporter["spends"]):
             epsilon = float(reporter["spends"][index]["epsilon"])
+        costs = dict((iteration_traffic or {}).get(index + 1, {}))
         log.append(IterationRecord(
             iteration=index + 1,
             epsilon_spent=epsilon,
@@ -1105,7 +1127,7 @@ def _rebuild_log(setup: RunSetup, collection_name: str,
             noise_free_means=means,
             displacement=float(reporter["displacement_history"][index]),
             tracked_assignments=tracked,
-            costs={},
+            costs=costs,
         ))
         previous = perturbed.copy()
     return log
@@ -1143,12 +1165,17 @@ def run_live_chiaroscuro(
     crypto_totals: dict[str, int] = {}
     traffic = TrafficStats()
     socket_totals: dict[str, int] = {}
+    iteration_traffic: dict[int, dict[str, float]] = {}
     for worker in outcome.workers:
         nodes.extend(worker["nodes"])
         for key, value in worker["crypto"].items():
             crypto_totals[key] = crypto_totals.get(key, 0) + int(value)
         for key, value in worker["socket"].items():
             socket_totals[key] = socket_totals.get(key, 0) + int(value)
+        for iteration, bucket in worker.get("iteration_traffic", {}).items():
+            merged = iteration_traffic.setdefault(int(iteration), {})
+            for key, value in bucket.items():
+                merged[key] = merged.get(key, 0.0) + float(value)
         for node in worker["nodes"]:
             for key, value in node["traffic"].items():
                 setattr(traffic, key, getattr(traffic, key) + int(value))
@@ -1170,7 +1197,8 @@ def run_live_chiaroscuro(
         )
         for node in nodes
     ]
-    log = _rebuild_log(setup, collection.name, nodes)
+    log = _rebuild_log(setup, collection.name, nodes,
+                       iteration_traffic=iteration_traffic)
     extra_metadata = {
         "live": {
             "processes": runner.n_processes,

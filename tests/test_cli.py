@@ -84,3 +84,75 @@ class TestCommands:
         ])
         assert exit_code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommands:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="cli-unit",
+            dataset="gaussian",
+            dataset_params={"n_clusters": 2, "noise_std": 0.05},
+            participants=12,
+            base={
+                "kmeans": {"n_clusters": 2, "max_iterations": 2},
+                "privacy": {"epsilon": 4.0, "noise_shares": 6},
+                "gossip": {"cycles_per_aggregation": 3},
+                "crypto": {"threshold": 2, "n_key_shares": 3},
+            },
+            sweep={"privacy.epsilon": [2.0, 4.0]},
+            metrics={"reference": False},
+        )
+        return str(spec.save(tmp_path / "cli_unit.json"))
+
+    def test_experiment_run_and_resume(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        exit_code = main([
+            "experiment", "run", "--spec", spec_file, "--store", store,
+            "--jobs", "2", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executed"] == 2
+        assert payload["failed"] == 0
+        exit_code = main([
+            "experiment", "run", "--spec", spec_file, "--store", store,
+            "--resume", "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executed"] == 0
+        assert payload["skipped"] == 2
+
+    def test_experiment_report(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        main(["experiment", "run", "--spec", spec_file, "--store", store, "--quiet"])
+        capsys.readouterr()
+        exit_code = main([
+            "experiment", "report", "--spec", spec_file, "--store", store,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "experiment: cli-unit" in output
+        assert "scenario comparison" in output
+
+    def test_experiment_report_markdown_to_file(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        main(["experiment", "run", "--spec", spec_file, "--store", store, "--quiet"])
+        out_file = tmp_path / "report.md"
+        exit_code = main([
+            "experiment", "report", "--spec", spec_file, "--store", store,
+            "--markdown", "--out", str(out_file),
+        ])
+        assert exit_code == 0
+        assert out_file.exists()
+        assert "| privacy.epsilon |" in out_file.read_text(encoding="utf-8")
+
+    def test_missing_spec_is_a_cli_error(self, tmp_path, capsys):
+        exit_code = main([
+            "experiment", "run", "--spec", str(tmp_path / "absent.json"),
+        ])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err

@@ -16,7 +16,9 @@ from repro.datasets import (
     generate_gaussian_clusters,
     generate_numed_like,
     generate_two_level_series,
+    dataset_size_parameter,
     load_dataset,
+    load_dataset_for_population,
     register_dataset,
 )
 from repro.exceptions import DatasetError
@@ -178,3 +180,59 @@ class TestRegistry:
         register_dataset("custom-test", lambda **kw: generate_constant_series(4, 3),
                          overwrite=True)
         assert len(load_dataset("custom-test")) == 4
+
+
+class TestPopulationLoading:
+    """load_dataset_for_population: the one place population sizes are set."""
+
+    def test_builtin_datasets_declare_their_size_parameter(self):
+        assert dataset_size_parameter("cer") == "n_households"
+        assert dataset_size_parameter("numed") == "n_patients"
+        assert dataset_size_parameter("gaussian") == "n_series"
+
+    @pytest.mark.parametrize("name", ["cer", "numed", "gaussian"])
+    def test_population_is_exact(self, name):
+        collection = load_dataset_for_population(name, 13, seed=4)
+        assert len(collection) == 13
+
+    def test_matches_the_historical_cli_loading(self):
+        """Same generator keywords as the CLI's per-dataset branches used."""
+        via_population = load_dataset_for_population("cer", 9, seed=2)
+        direct = load_dataset("cer", n_households=9, n_days=1,
+                              readings_per_day=24, seed=2)
+        assert np.array_equal(via_population.to_matrix(), direct.to_matrix())
+
+    def test_extra_parameters_pass_through(self):
+        collection = load_dataset_for_population(
+            "gaussian", 10, seed=1, n_clusters=2, noise_std=0.0,
+        )
+        assert len(collection) == 10
+        assert set(collection.labels("cluster")) == {0, 1}
+
+    def test_size_cannot_be_smuggled_in(self):
+        with pytest.raises(DatasetError):
+            load_dataset_for_population("gaussian", 10, n_series=99)
+
+    def test_non_positive_population_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset_for_population("gaussian", 0)
+        with pytest.raises(DatasetError):
+            load_dataset_for_population("gaussian", -3)
+
+    def test_dataset_without_size_parameter_rejected(self):
+        register_dataset("fixed-size-test",
+                         lambda **kw: generate_constant_series(3, 3),
+                         overwrite=True)
+        with pytest.raises(DatasetError):
+            load_dataset_for_population("fixed-size-test", 3)
+
+    def test_size_mismatch_is_detected(self):
+        # A factory that ignores its size parameter is caught by the single
+        # validation point rather than silently running a different population.
+        register_dataset(
+            "lying-size-test",
+            lambda n_series=0, seed=0, **kw: generate_constant_series(5, 3),
+            overwrite=True, size_parameter="n_series",
+        )
+        with pytest.raises(DatasetError, match="produced 5 series"):
+            load_dataset_for_population("lying-size-test", 7)

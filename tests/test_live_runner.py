@@ -91,6 +91,29 @@ class TestLiveVsCycleEquivalence:
             assert cycle_record.displacement == live_record.displacement
             assert cycle_record.tracked_assignments == live_record.tracked_assignments
 
+    def test_live_log_records_per_iteration_cost_deltas(self, results):
+        """Live mode now fills the per-iteration message/byte deltas (charged
+        to the sending node's current iteration); every send is attributed to
+        some iteration, so the deltas sum exactly to the run totals."""
+        _, live = results
+        for record in live.log:
+            assert record.costs["messages_sent"] > 0
+            assert record.costs["bytes_sent"] > 0
+        assert sum(r.costs["messages_sent"] for r in live.log) \
+            == live.costs.messages_sent
+        assert sum(r.costs["bytes_sent"] for r in live.log) == live.costs.bytes_sent
+
+    def test_cost_summary_surfaces_iteration_deltas_in_both_modes(self, results):
+        cycle, live = results
+        assert len(live.costs.iteration_costs) == len(live.log)
+        assert len(cycle.costs.iteration_costs) == len(cycle.log)
+        assert sum(live.costs.bytes_per_iteration()) == live.costs.bytes_sent
+        # The cycle observer attributes deltas to disclosure windows, so its
+        # series can undercount the post-disclosure tail but never exceed.
+        assert 0 < sum(cycle.costs.bytes_per_iteration()) <= cycle.costs.bytes_sent
+        assert live.costs.as_dict()["iteration_bytes_sent"] == \
+            live.costs.bytes_per_iteration()
+
 
 class TestLiveRunnerShapes:
     def test_single_process_live_run_works(self):

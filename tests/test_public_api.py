@@ -22,6 +22,7 @@ class TestExports:
         import repro.core
         import repro.crypto
         import repro.datasets
+        import repro.experiments
         import repro.gossip
         import repro.privacy
         import repro.simulation
@@ -29,7 +30,8 @@ class TestExports:
 
         for module in (
             repro.analysis, repro.baselines, repro.clustering, repro.core, repro.crypto,
-            repro.datasets, repro.gossip, repro.privacy, repro.simulation, repro.timeseries,
+            repro.datasets, repro.experiments, repro.gossip, repro.privacy,
+            repro.simulation, repro.timeseries,
         ):
             assert hasattr(module, "__all__")
             for name in module.__all__:

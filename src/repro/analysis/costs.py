@@ -17,7 +17,8 @@ times)" (Section III.B).  This module reproduces that methodology:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -84,6 +85,73 @@ class CryptoCostProfile:
             "ciphertext_bytes": float(self.ciphertext_bytes),
             "pooled_encryption_seconds": self.pooled_encryption_seconds,
         }
+
+    @classmethod
+    def from_bench_json(
+        cls, payload: Mapping[str, Any], fastmath: str = "off"
+    ) -> "CryptoCostProfile":
+        """Build a profile from a committed ``BENCH_crypto.json`` payload.
+
+        The benchmark file stores per-operation seconds in both arithmetic
+        modes (``off_seconds`` / ``fastmath_seconds``); *fastmath* selects
+        the column.  The homomorphic-halving figure stands in for the
+        per-ciphertext gossip-averaging operation (the protocol's only
+        homomorphic step), and the fastmath encryption figure doubles as the
+        amortized pooled-encryption cost.  Key generation is not benchmarked
+        there and is reported as 0 (it is a one-off setup cost, not a
+        per-run operation the extrapolator charges).
+        """
+        fastmath = normalize_fastmath(fastmath)
+        column = "off_seconds" if fastmath == "off" else "fastmath_seconds"
+        try:
+            operations = payload["operations"]
+            key_bits = int(payload["key_bits"])
+            degree = int(payload["degree"])
+            encryption = float(operations["encrypt"][column])
+            addition = float(operations["halve"][column])
+            partial = float(operations["threshold_share"][column])
+            combination = float(operations["combine"][column])
+            pooled = float(operations["encrypt"]["fastmath_seconds"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(
+                f"malformed crypto benchmark payload: {exc!r}"
+            ) from exc
+        return cls(
+            key_bits=key_bits,
+            degree=degree,
+            keygen_seconds=0.0,
+            encryption_seconds=encryption,
+            addition_seconds=addition,
+            partial_decryption_seconds=partial,
+            combination_seconds=combination,
+            # A degree-s Damgård–Jurik ciphertext lives in Z_{n^{s+1}}.
+            ciphertext_bytes=(key_bits // 8) * (degree + 1),
+            fastmath=fastmath,
+            pooled_encryption_seconds=pooled if fastmath != "off" else 0.0,
+        )
+
+    def seconds_for_counts(self, counts: Mapping[str, float]) -> float:
+        """Compute seconds implied by an operation-count dictionary.
+
+        *counts* uses the :class:`~repro.crypto.backends.OperationCounter`
+        key vocabulary (``encryptions``, ``additions``,
+        ``partial_decryptions``, ``combinations``, ``pooled_encryptions``,
+        ``rerandomizations``); unknown keys are ignored.  Pooled encryptions
+        are charged the amortized hot-path cost when the profile has one.
+        """
+        pooled_cost = (
+            self.pooled_encryption_seconds
+            if self.pooled_encryption_seconds > 0
+            else self.encryption_seconds
+        )
+        return (
+            float(counts.get("encryptions", 0)) * self.encryption_seconds
+            + float(counts.get("pooled_encryptions", 0)) * pooled_cost
+            + float(counts.get("rerandomizations", 0)) * self.encryption_seconds
+            + float(counts.get("additions", 0)) * self.addition_seconds
+            + float(counts.get("partial_decryptions", 0)) * self.partial_decryption_seconds
+            + float(counts.get("combinations", 0)) * self.combination_seconds
+        )
 
 
 def measure_crypto_costs(
@@ -416,3 +484,113 @@ class CostModel:
             row["aggregate_messages"] = estimate.messages_sent * population
             rows.append(row)
         return rows
+
+
+# --------------------------------------------------------------------- sampling
+@dataclass(frozen=True)
+class ExtrapolatedCost:
+    """Population-total crypto cost extrapolated from a measured node sample.
+
+    ``totals`` maps each metric (``encryptions``, ``crypto_seconds``,
+    ``bytes_sent``, ...) to its ``(estimate, low, high)`` population total:
+    the bootstrap point estimate and the percentile confidence interval at
+    level ``confidence``.  ``method`` records how the numbers were obtained:
+
+    ``"measured"``
+        every node ran the real pipeline (sample = population); the interval
+        is degenerate (low = estimate = high).
+    ``"sampled"``
+        a node subset ran the real pipeline; totals are ``population x`` the
+        bootstrap-resampled per-node mean.
+    ``"modelled"``
+        nothing was measured; totals come from the symbolic
+        :class:`CostModel` / :class:`ProtocolWorkload` prediction.
+    """
+
+    population: int
+    sample_size: int
+    method: str
+    confidence: float = 0.95
+    totals: Mapping[str, tuple[float, float, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain nested dictionary view (for stored rows and reports)."""
+        return {
+            "population": int(self.population),
+            "sample_size": int(self.sample_size),
+            "method": self.method,
+            "confidence": float(self.confidence),
+            "totals": {
+                key: {
+                    "estimate": float(estimate),
+                    "low": float(low),
+                    "high": float(high),
+                }
+                for key, (estimate, low, high) in self.totals.items()
+            },
+        }
+
+
+def bootstrap_extrapolate(
+    per_node: Mapping[str, Sequence[float]],
+    population: int,
+    n_boot: int = 200,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ExtrapolatedCost:
+    """Extrapolate per-node sample measurements to population totals.
+
+    *per_node* maps each metric to the per-node totals measured on the
+    crypto sample (all metrics over the same node sample, so the arrays
+    share a length).  The point estimate of a metric is
+    ``population * mean(values)``; its interval comes from *n_boot*
+    bootstrap resamples of the node sample (percentile method, seeded and
+    deterministic).  When the sample covers the whole population the totals
+    are exact sums and the intervals collapse.
+    """
+    check_positive_int(population, "population")
+    check_positive_int(n_boot, "n_boot")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    if not per_node:
+        raise AnalysisError("bootstrap_extrapolate needs at least one metric")
+    arrays = {
+        key: np.asarray(values, dtype=np.float64) for key, values in per_node.items()
+    }
+    sizes = {array.shape[0] for array in arrays.values()}
+    if len(sizes) != 1 or 0 in sizes:
+        raise AnalysisError(
+            "per-node metric arrays must be non-empty and share one length; "
+            f"got lengths {sorted(array.shape[0] for array in arrays.values())}"
+        )
+    sample_size = sizes.pop()
+    totals: dict[str, tuple[float, float, float]] = {}
+    if sample_size >= population:
+        for key, array in arrays.items():
+            exact = float(array.sum())
+            totals[key] = (exact, exact, exact)
+        return ExtrapolatedCost(
+            population=population,
+            sample_size=sample_size,
+            method="measured",
+            confidence=confidence,
+            totals=totals,
+        )
+    rng = np.random.default_rng(seed)
+    # One resample-index matrix shared by every metric: resamples pick whole
+    # nodes, preserving the cross-metric correlation of each node's costs.
+    indices = rng.integers(0, sample_size, size=(n_boot, sample_size))
+    tail = (1.0 - confidence) / 2.0
+    for key, array in arrays.items():
+        estimate = float(array.mean()) * population
+        replicate_means = array[indices].mean(axis=1)
+        low = float(np.quantile(replicate_means, tail)) * population
+        high = float(np.quantile(replicate_means, 1.0 - tail)) * population
+        totals[key] = (estimate, low, high)
+    return ExtrapolatedCost(
+        population=population,
+        sample_size=sample_size,
+        method="sampled",
+        confidence=confidence,
+        totals=totals,
+    )

@@ -86,6 +86,9 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
             "processes": args.processes,
             "base_port": args.live_port,
             "run_timeout": args.live_timeout,
+            "engine": args.engine,
+            "slab_shards": args.slab_shards,
+            "crypto_sample_fraction": args.sample_fraction,
         },
     )
 
@@ -131,6 +134,19 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                         help="first worker port of the live runner (0 = ephemeral)")
     parser.add_argument("--live-timeout", type=float, default=300.0,
                         help="hard wall-clock limit in seconds on a live run")
+    parser.add_argument("--engine", default="object", choices=["object", "slab"],
+                        help="population engine: object (one participant object "
+                             "per node) or slab (vectorised struct-of-arrays "
+                             "population with sampled crypto — the million-node "
+                             "path)")
+    parser.add_argument("--sample-fraction", type=float, default=1.0,
+                        help="fraction of nodes running the real crypto pipeline "
+                             "under --engine slab (1.0 = everything, results "
+                             "bit-identical to the object engine; 0 = purely "
+                             "modelled costs)")
+    parser.add_argument("--slab-shards", type=int, default=1,
+                        help="shared-memory worker shards of the slab engine's "
+                             "gossip averaging (results are shard-invariant)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -269,6 +285,56 @@ def _command_experiment_run(args: argparse.Namespace) -> int:
     return 1 if summary.failed else 0
 
 
+def _command_experiment_list(args: argparse.Namespace) -> int:
+    """Show a spec's cells and their store status (cached/pending/failed).
+
+    The inspection companion of ``experiment run --resume``: before starting
+    (or resuming) a long sweep, list which cells already have a cached ``ok``
+    row, which failed or timed out (they will re-run), and which were never
+    attempted.
+    """
+    from .experiments import ExperimentSpec, ResultStore
+
+    spec = ExperimentSpec.from_file(args.spec)
+    store = ResultStore(args.store or _default_store_path(args.spec))
+    latest = store.latest_by_key()
+    rows = []
+    counts = {"cached": 0, "pending": 0, "error": 0, "timeout": 0}
+    for cell in spec.expand():
+        row = latest.get(cell.key)
+        if row is None:
+            status = "pending"
+        elif row.get("status") == "ok":
+            status = "cached"
+        else:
+            status = str(row.get("status"))
+        counts[status] = counts.get(status, 0) + 1
+        rows.append({
+            "cell": cell.index,
+            "label": cell.label(),
+            "key": cell.key,
+            "status": status,
+        })
+    if args.json:
+        print(json.dumps({
+            "experiment": spec.name,
+            "spec_hash": spec.spec_hash,
+            "store": str(store.path),
+            "counts": counts,
+            "cells": rows,
+        }, indent=2))
+        return 0
+    print(f"experiment {spec.name}: {len(rows)} cells, store={store.path}")
+    print(format_table(
+        [{"cell": row["cell"], "status": row["status"], "label": row["label"]}
+         for row in rows],
+        title="cells",
+    ))
+    summary = ", ".join(f"{key}={value}" for key, value in counts.items() if value)
+    print(f"\n{summary}")
+    return 0
+
+
 def _command_experiment_report(args: argparse.Namespace) -> int:
     from .experiments import ExperimentSpec, ResultStore, format_report
 
@@ -350,6 +416,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("--json", action="store_true",
                          help="emit a machine-readable run summary")
     exp_run.set_defaults(handler=_command_experiment_run)
+
+    exp_list = experiment_sub.add_parser(
+        "list", help="show cached vs pending cells of a spec's scenario matrix"
+    )
+    exp_list.add_argument("--spec", required=True,
+                          help="experiment spec file (.json or .toml)")
+    exp_list.add_argument("--store", default=None,
+                          help="result store path (default: results/<spec>.jsonl)")
+    exp_list.add_argument("--json", action="store_true",
+                          help="emit a machine-readable cell listing")
+    exp_list.set_defaults(handler=_command_experiment_list)
 
     exp_report = experiment_sub.add_parser(
         "report", help="render the cross-scenario comparison report of a spec"

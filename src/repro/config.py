@@ -44,6 +44,11 @@ OVERLAY_TOPOLOGIES = ("complete", "random_regular", "small_world", "ring")
 #: multi-process live runner moving wire frames over real TCP sockets.
 RUNTIME_MODES = ("cycle", "live")
 
+#: Population engines of cycle mode: one Python object per participant
+#: (``object``) or struct-of-arrays NumPy slabs with sampled crypto
+#: (``slab``; see :mod:`repro.simulation.slab`).
+RUNTIME_ENGINES = ("object", "slab")
+
 
 @dataclass(frozen=True)
 class KMeansConfig:
@@ -313,6 +318,22 @@ class RuntimeConfig:
     run_timeout:
         Hard wall-clock limit in seconds on a whole live run; exceeding it
         terminates the workers and raises a protocol error.
+    engine:
+        Population engine of cycle mode.  ``"object"`` (default) instantiates
+        one :class:`~repro.core.participant.ChiaroscuroParticipant` per node.
+        ``"slab"`` holds the population in struct-of-arrays NumPy slabs
+        (see :mod:`repro.simulation.slab`) and runs the real crypto pipeline
+        on a sampled subset only (``crypto_sample_fraction``), extrapolating
+        the remaining cost with bootstrap error bars — the million-node path.
+    slab_shards:
+        Number of shared-memory worker shards of the slab engine's gossip
+        averaging step.  ``1`` (default) runs in-process; results are
+        shard-count invariant by construction.
+    crypto_sample_fraction:
+        Fraction of the population that runs the real crypto pipeline
+        end-to-end under the slab engine.  ``1.0`` (default) runs everything
+        through the object path (bit-identical results); ``0.0`` skips
+        measurement entirely and reports purely modelled costs.
     """
 
     mode: str = "cycle"
@@ -321,9 +342,15 @@ class RuntimeConfig:
     base_port: int = 0
     connect_timeout: float = 10.0
     run_timeout: float = 300.0
+    engine: str = "object"
+    slab_shards: int = 1
+    crypto_sample_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         check_in_choices(self.mode, RUNTIME_MODES, "mode")
+        check_in_choices(self.engine, RUNTIME_ENGINES, "engine")
+        check_positive_int(self.slab_shards, "slab_shards")
+        check_probability(self.crypto_sample_fraction, "crypto_sample_fraction")
         check_positive_int(self.processes, "processes")
         if not self.host:
             raise ConfigurationError("runtime.host must not be empty")
@@ -443,6 +470,25 @@ class ChiaroscuroConfig:
                     "the live runner does not support the corruption fault model "
                     "yet (set network.corruption_rate=0)"
                 )
+        if self.runtime.engine == "slab":
+            if self.runtime.mode != "cycle":
+                raise ConfigurationError(
+                    "the slab engine is a cycle-mode population substrate "
+                    "(set runtime.mode='cycle')"
+                )
+            if self.runtime.crypto_sample_fraction < 1.0:
+                if self.gossip.drop_probability > 0:
+                    raise ConfigurationError(
+                        "the sampled-crypto slab path does not model message "
+                        "loss yet (set gossip.drop_probability=0 or "
+                        "runtime.crypto_sample_fraction=1.0)"
+                    )
+                if self.network.corruption_rate > 0:
+                    raise ConfigurationError(
+                        "the sampled-crypto slab path does not model frame "
+                        "corruption yet (set network.corruption_rate=0 or "
+                        "runtime.crypto_sample_fraction=1.0)"
+                    )
         if self.crypto.threshold > self.simulation.n_participants:
             raise ConfigurationError(
                 "decryption threshold cannot exceed the number of participants "

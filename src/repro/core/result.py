@@ -31,6 +31,13 @@ class CostSummary:
     ``bytes_sent`` per iteration; the cycle engine additionally records the
     crypto-operation deltas.  Attribution: traffic is charged to the
     iteration the sending participant was working on.
+
+    ``extrapolated`` is only set by the slab engine's sampled-crypto path:
+    the :meth:`~repro.analysis.costs.ExtrapolatedCost.as_dict` view of the
+    population-total crypto cost with bootstrap confidence intervals.  In
+    that case the plain counter fields above hold what was actually
+    *executed* (the sample), while ``extrapolated`` holds the inferred
+    population totals.
     """
 
     n_participants: int
@@ -44,6 +51,7 @@ class CostSummary:
     bytes_sent_modelled: int = 0
     wire: str = "off"
     iteration_costs: tuple[Mapping[str, float], ...] = ()
+    extrapolated: Mapping[str, Any] | None = None
 
     @property
     def messages_per_participant(self) -> float:
@@ -92,7 +100,7 @@ class CostSummary:
     def as_dict(self) -> dict[str, Any]:
         """Plain dictionary view (totals, per-participant averages and
         per-iteration delta series)."""
-        return {
+        view: dict[str, Any] = {
             "n_participants": float(self.n_participants),
             "n_iterations": float(self.n_iterations),
             "messages_sent": float(self.messages_sent),
@@ -109,6 +117,11 @@ class CostSummary:
             "iteration_bytes_sent": self.bytes_per_iteration(),
             "iteration_messages_sent": self.messages_per_iteration(),
         }
+        # Only slab-engine runs carry extrapolated totals; keeping the key
+        # absent otherwise leaves historical store rows byte-identical.
+        if self.extrapolated is not None:
+            view["extrapolated"] = dict(self.extrapolated)
+        return view
 
 
 @dataclass

@@ -515,6 +515,18 @@ def run_chiaroscuro(
             n_tracked_participants=n_tracked_participants,
             max_extra_cycles=max_extra_cycles,
         )
+    if config.runtime.engine == "slab":
+        # Deferred import: the slab runner imports this module back for the
+        # shared normalisation/setup helpers.
+        from .slab_runner import run_slab_chiaroscuro
+
+        return run_slab_chiaroscuro(
+            collection,
+            config,
+            normalize=normalize,
+            n_tracked_participants=n_tracked_participants,
+            max_extra_cycles=max_extra_cycles,
+        )
     setup = build_run_setup(
         collection, config, normalize=normalize,
         n_tracked_participants=n_tracked_participants,

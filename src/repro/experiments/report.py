@@ -6,9 +6,10 @@ the spec's scenario matrix, pulls every completed cell's row from the store
 and renders:
 
 * a **comparison table** — one row per scenario (axis values as the leading
-  columns), repeats aggregated by mean; a single-repeat scenario's row
-  carries the stored values verbatim, bit-identical to an equivalent
-  standalone ``repro run``;
+  columns), repeats aggregated by mean with ``.std``/``.min``/``.max``
+  spread columns alongside; a single-repeat scenario's row carries the
+  stored values verbatim (and no spread columns), bit-identical to an
+  equivalent standalone ``repro run``;
 * a **per-iteration network-cost table** — the per-iteration byte deltas
   recorded in the execution log, one column per scenario (quality vs. ε,
   bytes vs. N and convergence vs. churn all read off these two tables).
@@ -120,16 +121,37 @@ def _aggregate(values: list[Any]) -> Any:
     return values[0]
 
 
+def _spread(values: list[Any]) -> dict[str, float] | None:
+    """Sample std / min / max of repeated numeric values, None otherwise.
+
+    Defined only for two or more all-numeric repeats — exactly the rows
+    whose mean hides variation worth reporting.
+    """
+    numeric = [float(value) for value in values
+               if isinstance(value, (int, float)) and not isinstance(value, bool)]
+    if len(numeric) < 2 or len(numeric) != len(values):
+        return None
+    mean = sum(numeric) / len(numeric)
+    variance = sum((value - mean) ** 2 for value in numeric) / (len(numeric) - 1)
+    return {"std": variance ** 0.5, "min": min(numeric), "max": max(numeric)}
+
+
 def comparison_rows(
     spec: ExperimentSpec,
     store: ResultStore,
     metrics: Sequence[str] | None = None,
     rows: Sequence[Mapping[str, Any]] | None = None,
+    spread: bool = True,
 ) -> list[dict[str, Any]]:
     """One row per scenario: axis columns, then metrics aggregated over repeats.
 
-    Pass precomputed :func:`scenario_rows` as *rows* to avoid re-reading
-    the store (``format_report`` builds several tables from one read).
+    With *spread* (the default), every numeric metric that has repeats
+    anywhere in the matrix also gets ``<metric>.std`` / ``.min`` / ``.max``
+    columns (sample std; blank for scenarios with a single completed
+    repeat).  A matrix with no repeats at all gains no extra columns, so
+    single-repeat reports are unchanged.  Pass precomputed
+    :func:`scenario_rows` as *rows* to avoid re-reading the store
+    (``format_report`` builds several tables from one read).
     """
     flat = scenario_rows(spec, store) if rows is None else list(rows)
     by_scenario: dict[int, list[dict[str, Any]]] = {}
@@ -143,6 +165,14 @@ def comparison_rows(
         metric for metric in DEFAULT_METRICS
         if any(metric in member for member in flat)
     ]
+    spread_metrics: list[str] = []
+    if spread:
+        spread_metrics = [
+            metric for metric in wanted
+            if any(_spread([member[metric] for member in group
+                            if metric in member]) is not None
+                   for group in by_scenario.values())
+        ]
     out: list[dict[str, Any]] = []
     for scenario in sorted(by_scenario):
         group = by_scenario[scenario]
@@ -150,9 +180,12 @@ def comparison_rows(
         for axis in axis_keys:
             row[axis] = group[0].get(axis, "")
         for metric in wanted:
-            row[metric] = _aggregate([
-                member[metric] for member in group if metric in member
-            ] or [""])
+            values = [member[metric] for member in group if metric in member]
+            row[metric] = _aggregate(values or [""])
+            if metric in spread_metrics:
+                stats = _spread(values) or {}
+                for statistic in ("std", "min", "max"):
+                    row[f"{metric}.{statistic}"] = stats.get(statistic, "")
         row["runs"] = len(group)
         out.append(row)
     return out

@@ -33,11 +33,14 @@ clustering results* as ``mode="cycle"`` with the same seed — bit-identical
 for every backend, since threshold decryption is exact integer arithmetic.
 The caveats (see README "Live runner"): the two sides of a gossip exchange
 hold independently re-randomized ciphertexts rather than one shared
-object (identical plaintexts), per-iteration execution-log cost deltas
-cover messages/bytes but not the crypto-operation counters (which are
-process-global), control-plane records (probes, stepping, bootstrap)
-are runner overhead excluded from the protocol byte accounting, and the
-fault models (churn, loss, corruption) are not supported yet.
+object (identical plaintexts), control-plane records (probes, stepping,
+bootstrap) are runner overhead excluded from the protocol byte
+accounting, and the fault models (churn, loss, corruption) are not
+supported yet.  Per-iteration execution-log cost deltas cover
+messages/bytes *and* the crypto-operation counters: each worker meters
+its process-global counter around every unit of protocol work
+(:class:`_CryptoMeter`), so live runs have the same per-iteration cost
+records as cycle runs.
 """
 
 from __future__ import annotations
@@ -369,6 +372,40 @@ class WorkerTransport:
         return reply.header, reply.payload
 
 
+class _CryptoMeter:
+    """Charges a worker's crypto-counter deltas to protocol iterations.
+
+    The backend's operation counter is process-global, so per-iteration
+    attribution works like the cycle observer's snapshot diffing: after
+    every unit of protocol work on this worker — a local node's step, a
+    peer frame served — the counter delta since the last snapshot is
+    charged to the iteration of the node the work was done for, into the
+    same per-iteration buckets as the message/byte accounting.  Deltas
+    outside any iteration (bootstrap) advance the snapshot but are
+    dropped, mirroring the traffic rule.
+    """
+
+    def __init__(self, counter: Any,
+                 buckets: dict[int, dict[str, float]]) -> None:
+        self._counter = counter
+        self._buckets = buckets
+        self._last = counter.as_dict()
+
+    def charge(self, iteration: int) -> None:
+        now = self._counter.as_dict()
+        delta = {key: value - self._last.get(key, 0)
+                 for key, value in now.items()
+                 if value != self._last.get(key, 0)}
+        self._last = now
+        if not delta or iteration <= 0:
+            return
+        bucket = self._buckets.setdefault(
+            iteration, {"messages_sent": 0.0, "bytes_sent": 0.0}
+        )
+        for key, value in delta.items():
+            bucket[key] = bucket.get(key, 0.0) + float(value)
+
+
 # ---------------------------------------------------------------------- handlers
 class WorkerProtocolHandler:
     """Message-driven protocol logic of one worker's participants.
@@ -693,6 +730,7 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
         connect_timeout=runtime.connect_timeout,
     )
     driver = LiveParticipantDriver(setup, participants, transport)
+    meter = _CryptoMeter(setup.backend.counter, transport.iteration_traffic)
     bootstrapped = asyncio.Event()
     shutdown = asyncio.Event()
 
@@ -707,6 +745,11 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
             reply_header, reply_frame = handler.handle_frame(
                 envelope.header, envelope.payload
             )
+            # Crypto work serving a peer's frame (decrypt shares, averaging)
+            # is charged to the local recipient's current iteration.
+            recipient_participant = handler.participants.get(recipient)
+            if recipient_participant is not None:
+                meter.charge(recipient_participant.iteration)
             if reply_frame:
                 transport._account_send(
                     recipient, int(envelope.header["sender"]),
@@ -768,7 +811,11 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
         if op == "step":
             if not bootstrapped.is_set():
                 raise ProtocolError("step before bootstrap completed")
-            result = await driver.step(int(header["node"]))
+            stepped = int(header["node"])
+            result = await driver.step(stepped)
+            # Everything the step executed locally (encrypt, re-randomize,
+            # combine) is charged to the stepped node's current iteration.
+            meter.charge(participants[stepped].iteration)
             return Envelope(kind=KIND_CONTROL, correlation_id=0,
                             header=result, is_reply=True)
         if op == "collect":
@@ -1080,12 +1127,12 @@ def _rebuild_log(setup: RunSetup, collection_name: str,
     """Rebuild the per-iteration execution log from collected histories.
 
     Mirrors the cycle runner's observer.  ``iteration_traffic`` is the
-    merged per-worker message/byte accounting keyed by iteration number
-    (traffic charged to the sending node's current iteration), so each
-    record's ``costs`` carries the live-mode per-iteration deltas; the
-    crypto-operation deltas the cycle observer also records are not
-    tracked across processes (totals live in the
-    :class:`~repro.core.result.CostSummary`).
+    merged per-worker cost accounting keyed by iteration number: the
+    message/byte deltas (traffic charged to the sending node's current
+    iteration) plus the crypto-operation deltas each worker's
+    :class:`_CryptoMeter` charged to the iteration the work served, so
+    each record's ``costs`` carries the same per-iteration delta keys as
+    a cycle run's.
     """
     log = ExecutionLog(metadata=run_log_metadata(setup, collection_name))
     by_id = {int(node["node"]): node for node in nodes}

@@ -5,6 +5,13 @@ from .network import Message, Network, TrafficStats
 from .node import Node
 from .observers import CallbackObserver, HistoryObserver, Observer, OnlineCountObserver
 from .rng import RngRegistry
+from .slab import (
+    PopulationSlabs,
+    ShardCoordinator,
+    average_pairs_inplace,
+    pair_online,
+    slab_churn_step,
+)
 
 __all__ = [
     "CycleEngine",
@@ -18,4 +25,9 @@ __all__ = [
     "HistoryObserver",
     "OnlineCountObserver",
     "RngRegistry",
+    "PopulationSlabs",
+    "ShardCoordinator",
+    "average_pairs_inplace",
+    "pair_online",
+    "slab_churn_step",
 ]

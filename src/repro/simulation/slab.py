@@ -1,0 +1,310 @@
+"""Struct-of-arrays population slabs for the million-node engine.
+
+Cycle mode's object engine instantiates one Python participant per node,
+which tops out around thousands of nodes.  This module holds the population
+state in struct-of-arrays NumPy slabs instead — estimates, online flags,
+assignments, per-node RNG-draw counters — and executes gossip rounds as
+vectorised slab operations, optionally sharded across worker processes over
+a shared-memory segment.  The protocol-level loop that drives these slabs
+lives in :mod:`repro.core.slab_runner`.
+
+Determinism contract
+--------------------
+* :func:`slab_churn_step` consumes its random stream with exactly the same
+  shapes as :meth:`~repro.simulation.engine.CycleEngine._apply_churn` (one
+  vectorised draw over all nodes when rejoining is possible, over online
+  nodes only otherwise), so the two implementations flip the same nodes
+  given the same stream state.
+* :func:`pair_online` derives the round's random matching from a single
+  permutation draw; :class:`ShardCoordinator` never draws randomness — the
+  coordinator makes every draw, workers only execute deterministic
+  elementwise averaging over disjoint pair ranges.  Results are therefore
+  invariant under the shard count by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability
+from ..exceptions import SimulationError
+
+
+@dataclass
+class PopulationSlabs:
+    """Struct-of-arrays state of a slab-engine population.
+
+    Attributes
+    ----------
+    data:
+        ``(n, series_length)`` participant series (read-only input).
+    estimates:
+        ``(n, n_clusters * (series_length + 1))`` per-node gossip estimates:
+        for each cluster a ``series_length``-sum block followed by one count
+        slot (the layout of the protocol's per-cluster estimates).
+    online:
+        ``(n,)`` boolean online flags driven by the churn model.
+    assigned:
+        ``(n,)`` current cluster assignment of every node.
+    rng_draws:
+        ``(n,)`` number of churn/pairing uniforms consumed on behalf of
+        each node — the audit trail the determinism tests check.
+    last_pairing:
+        The ``(pairs, 2)`` node-index matching of the most recent gossip
+        round (empty before the first round).
+    """
+
+    data: np.ndarray
+    estimates: np.ndarray
+    online: np.ndarray
+    assigned: np.ndarray
+    rng_draws: np.ndarray
+    last_pairing: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+
+    @classmethod
+    def allocate(cls, data: np.ndarray, n_clusters: int,
+                 estimates: np.ndarray | None = None) -> "PopulationSlabs":
+        """Allocate fresh slabs for *data* (*estimates* may be pre-owned,
+        e.g. a :class:`ShardCoordinator`'s shared-memory view)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise SimulationError(f"slab data must be 2-D, got shape {data.shape}")
+        check_positive_int(n_clusters, "n_clusters")
+        n, series_length = data.shape
+        width = n_clusters * (series_length + 1)
+        if estimates is None:
+            estimates = np.zeros((n, width), dtype=np.float64)
+        if estimates.shape != (n, width):
+            raise SimulationError(
+                f"estimates slab shape {estimates.shape} != {(n, width)}"
+            )
+        return cls(
+            data=data,
+            estimates=estimates,
+            online=np.ones(n, dtype=bool),
+            assigned=np.zeros(n, dtype=np.int32),
+            rng_draws=np.zeros(n, dtype=np.int64),
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.data.shape[0])
+
+
+def slab_churn_step(
+    online: np.ndarray,
+    churn_rate: float,
+    rejoin_rate: float,
+    rng: np.random.Generator,
+    rng_draws: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply one churn cycle to the *online* slab in place.
+
+    Mirrors :meth:`CycleEngine._apply_churn` stream shape for stream shape:
+    no draw at all when ``churn_rate == 0``; one uniform per node (in node-id
+    order) when ``rejoin_rate > 0``; one uniform per *online* node otherwise.
+    Returns the node ids whose flag flipped this cycle.
+    """
+    check_probability(churn_rate, "churn_rate")
+    check_probability(rejoin_rate, "rejoin_rate")
+    if churn_rate == 0.0:
+        return np.empty(0, dtype=np.int64)
+    if rejoin_rate > 0.0:
+        subjects = np.arange(online.shape[0], dtype=np.int64)
+        draws = rng.random(subjects.shape[0])
+        thresholds = np.where(online, churn_rate, rejoin_rate)
+    else:
+        subjects = np.nonzero(online)[0]
+        draws = rng.random(subjects.shape[0])
+        thresholds = np.full(subjects.shape[0], churn_rate)
+    if rng_draws is not None:
+        rng_draws[subjects] += 1
+    flipped = subjects[draws < thresholds]
+    online[flipped] = ~online[flipped]
+    return flipped
+
+
+def pair_online(
+    online: np.ndarray,
+    rng: np.random.Generator,
+    rng_draws: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw one random gossip matching of the online nodes.
+
+    A uniformly random perfect matching (one permutation draw, consecutive
+    entries paired; a leftover odd node sits the round out) — the vectorised
+    equivalent of every online node initiating one push-pull exchange with a
+    uniformly sampled online peer.  Returns a ``(pairs, 2)`` index matrix.
+    """
+    candidates = np.nonzero(online)[0]
+    if candidates.shape[0] < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    order = rng.permutation(candidates)
+    if rng_draws is not None:
+        rng_draws[candidates] += 1
+    n_pairs = order.shape[0] // 2
+    return order[: 2 * n_pairs].reshape(n_pairs, 2).astype(np.int64, copy=False)
+
+
+def average_pairs_inplace(estimates: np.ndarray, pairs: np.ndarray) -> None:
+    """Average the estimate rows of each (disjoint) pair, in place.
+
+    This is one gossip exchange for every pair at once: both members adopt
+    the elementwise mean of their estimates, which preserves the global sum
+    exactly (the mass-conservation invariant of gossip averaging).
+    """
+    if pairs.shape[0] == 0:
+        return
+    left = pairs[:, 0]
+    right = pairs[:, 1]
+    mean = 0.5 * (estimates[left] + estimates[right])
+    estimates[left] = mean
+    estimates[right] = mean
+
+
+def _shard_worker(
+    connection: Any,
+    estimates_name: str,
+    estimates_shape: tuple[int, int],
+    pairs_name: str,
+    pairs_capacity: int,
+) -> None:  # pragma: no cover - exercised via ShardCoordinator in subprocesses
+    """Worker loop: average disjoint pair ranges of the shared estimate slab."""
+    estimates_shm = shared_memory.SharedMemory(name=estimates_name)
+    pairs_shm = shared_memory.SharedMemory(name=pairs_name)
+    try:
+        estimates = np.ndarray(estimates_shape, dtype=np.float64, buffer=estimates_shm.buf)
+        pairs = np.ndarray((pairs_capacity, 2), dtype=np.int64, buffer=pairs_shm.buf)
+        while True:
+            command = connection.recv()
+            if command is None:
+                break
+            start, end = command
+            average_pairs_inplace(estimates, pairs[start:end])
+            connection.send((start, end))
+    finally:
+        estimates_shm.close()
+        pairs_shm.close()
+
+
+class ShardCoordinator:
+    """Owns the estimate slab and fans pair-averaging out to worker shards.
+
+    With ``shards == 1`` (the default, and the fallback when the platform
+    cannot fork) everything runs in-process on a private array.  With more
+    shards the slab lives in a :mod:`multiprocessing.shared_memory` segment;
+    long-lived forked workers each average a contiguous, disjoint slice of
+    the round's pair list, so the floating-point result is bit-identical to
+    the single-shard path regardless of the shard count.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int, shards: int = 1) -> None:
+        check_positive_int(n_rows, "n_rows")
+        check_positive_int(n_cols, "n_cols")
+        check_positive_int(shards, "shards")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.shards = min(shards, max(1, n_rows // 2))
+        self._workers: list[Any] = []
+        self._pipes: list[Any] = []
+        self._estimates_shm: shared_memory.SharedMemory | None = None
+        self._pairs_shm: shared_memory.SharedMemory | None = None
+        if self.shards > 1:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                self.shards = 1
+        if self.shards == 1:
+            self.estimates = np.zeros((n_rows, n_cols), dtype=np.float64)
+            self._pairs = None
+            return
+        self._estimates_shm = shared_memory.SharedMemory(
+            create=True, size=n_rows * n_cols * 8
+        )
+        self.estimates = np.ndarray(
+            (n_rows, n_cols), dtype=np.float64, buffer=self._estimates_shm.buf
+        )
+        self.estimates[:] = 0.0
+        pairs_capacity = max(1, n_rows // 2)
+        self._pairs_shm = shared_memory.SharedMemory(
+            create=True, size=pairs_capacity * 2 * 8
+        )
+        self._pairs = np.ndarray(
+            (pairs_capacity, 2), dtype=np.int64, buffer=self._pairs_shm.buf
+        )
+        for _ in range(self.shards):
+            parent, child = context.Pipe()
+            worker = context.Process(
+                target=_shard_worker,
+                args=(
+                    child,
+                    self._estimates_shm.name,
+                    (n_rows, n_cols),
+                    self._pairs_shm.name,
+                    pairs_capacity,
+                ),
+                daemon=True,
+            )
+            worker.start()
+            child.close()
+            self._workers.append(worker)
+            self._pipes.append(parent)
+
+    def average_pairs(self, pairs: np.ndarray) -> None:
+        """Run one vectorised gossip round over the given disjoint pairs."""
+        count = int(pairs.shape[0])
+        if count == 0:
+            return
+        if self.shards == 1 or count < 2 * self.shards:
+            average_pairs_inplace(self.estimates, pairs)
+            return
+        assert self._pairs is not None
+        self._pairs[:count] = pairs
+        bounds = np.linspace(0, count, self.shards + 1).astype(int)
+        active = []
+        for shard in range(self.shards):
+            start, end = int(bounds[shard]), int(bounds[shard + 1])
+            if start < end:
+                self._pipes[shard].send((start, end))
+                active.append(shard)
+        for shard in active:
+            self._pipes[shard].recv()
+
+    def close(self) -> None:
+        """Shut down workers and release the shared-memory segments."""
+        for pipe in self._pipes:
+            try:
+                pipe.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+        for pipe in self._pipes:
+            pipe.close()
+        self._workers = []
+        self._pipes = []
+        if self._estimates_shm is not None or self._pairs_shm is not None:
+            # Drop views into the segments before unlinking them.
+            self.estimates = np.empty((0, 0), dtype=np.float64)
+            self._pairs = None
+        for segment in (self._estimates_shm, self._pairs_shm):
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+        self._estimates_shm = None
+        self._pairs_shm = None
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -38,6 +38,24 @@ class TestParser:
         )
         assert args.populations == [100, 1000]
 
+    def test_engine_flags(self):
+        args = build_parser().parse_args([
+            "run", "--engine", "slab", "--sample-fraction", "0.01",
+            "--slab-shards", "4",
+        ])
+        assert args.engine == "slab"
+        assert args.sample_fraction == 0.01
+        assert args.slab_shards == 4
+        # Defaults reproduce the object engine.
+        defaults = build_parser().parse_args(["run"])
+        assert defaults.engine == "object"
+        assert defaults.sample_fraction == 1.0
+        assert defaults.slab_shards == 1
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "warp"])
+
 
 class TestCommands:
     def test_run_command_json(self, capsys):
@@ -125,6 +143,40 @@ class TestExperimentCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["executed"] == 0
         assert payload["skipped"] == 2
+
+    def test_experiment_list_shows_cached_vs_pending(self, spec_file, tmp_path,
+                                                     capsys):
+        store = str(tmp_path / "store.jsonl")
+        exit_code = main([
+            "experiment", "list", "--spec", spec_file, "--store", store, "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"cached": 0, "pending": 2,
+                                     "error": 0, "timeout": 0}
+        assert all(cell["status"] == "pending" for cell in payload["cells"])
+        main(["experiment", "run", "--spec", spec_file, "--store", store,
+              "--quiet"])
+        capsys.readouterr()
+        exit_code = main([
+            "experiment", "list", "--spec", spec_file, "--store", store, "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["cached"] == 2
+        assert payload["counts"]["pending"] == 0
+        assert {cell["label"] for cell in payload["cells"]} == {
+            "cell 0 | privacy.epsilon=2.0 | seed=0",
+            "cell 1 | privacy.epsilon=4.0 | seed=0",
+        }
+        # Human-readable variant mentions the store and the summary line.
+        exit_code = main([
+            "experiment", "list", "--spec", spec_file, "--store", store,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cached=2" in output
+        assert "experiment cli-unit" in output
 
     def test_experiment_report(self, spec_file, tmp_path, capsys):
         store = str(tmp_path / "store.jsonl")

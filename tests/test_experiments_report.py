@@ -103,6 +103,25 @@ class TestComparisonRows:
         # Mean-of-one must not perturb values or types (ints stay ints).
         assert rows[0]["n_iterations"] == flat[0]["n_iterations"]
         assert isinstance(rows[0]["n_iterations"], type(flat[0]["n_iterations"]))
+        # No repeats anywhere ⇒ no spread columns sneak in.
+        assert not any(key.endswith((".std", ".min", ".max")) for key in rows[0])
+
+    def test_repeats_gain_spread_columns(self, executed):
+        spec, store = executed
+        flat = scenario_rows(spec, store)
+        rows = comparison_rows(spec, store, metrics=["inertia"])
+        values = [flat[0]["inertia"], flat[1]["inertia"]]
+        assert rows[0]["inertia.min"] == min(values)
+        assert rows[0]["inertia.max"] == max(values)
+        mean = sum(values) / 2
+        expected_std = (sum((v - mean) ** 2 for v in values) / 1) ** 0.5
+        assert rows[0]["inertia.std"] == pytest.approx(expected_std)
+        assert rows[0]["inertia.min"] <= rows[0]["inertia"] <= rows[0]["inertia.max"]
+
+    def test_spread_can_be_disabled(self, executed):
+        spec, store = executed
+        rows = comparison_rows(spec, store, metrics=["inertia"], spread=False)
+        assert list(rows[0]) == ["scenario", "privacy.epsilon", "inertia", "runs"]
 
 
 class TestIterationCosts:

@@ -103,6 +103,22 @@ class TestLiveVsCycleEquivalence:
             == live.costs.messages_sent
         assert sum(r.costs["bytes_sent"] for r in live.log) == live.costs.bytes_sent
 
+    def test_live_log_records_per_iteration_crypto_deltas(self, results):
+        """Each worker meters its process-global crypto counter around every
+        unit of protocol work, so live records carry crypto-op deltas like
+        cycle records; everything metered lands in some iteration, so the
+        deltas sum exactly to the run totals."""
+        cycle, live = results
+        for counter in ("encryptions", "partial_decryptions", "combinations"):
+            assert sum(r.costs.get(counter, 0.0) for r in live.log) \
+                == getattr(live.costs, counter)
+        for cycle_record, live_record in zip(cycle.log, live.log):
+            # Encryptions are one-per-contribution in both modes; additions
+            # and re-randomizations legitimately differ (live averages the
+            # two sides of an exchange independently).
+            assert live_record.costs["encryptions"] \
+                == cycle_record.costs["encryptions"]
+
     def test_cost_summary_surfaces_iteration_deltas_in_both_modes(self, results):
         cycle, live = results
         assert len(live.costs.iteration_costs) == len(live.log)

@@ -1,0 +1,287 @@
+"""Tests of the slab population engine: the vectorised million-node path.
+
+Covers the struct-of-arrays primitives (churn, pairing, averaging, the
+shard coordinator) and the cost extrapolation machinery
+(``CryptoCostProfile.from_bench_json``, ``bootstrap_extrapolate``).  The
+determinism contract under test: the slab churn step consumes its random
+stream with exactly the same shapes as ``CycleEngine._apply_churn``, and
+shard-count never changes results.  End-to-end slab-vs-object equivalence
+lives in ``test_slab_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.costs import (
+    CryptoCostProfile,
+    ExtrapolatedCost,
+    bootstrap_extrapolate,
+)
+from repro.exceptions import AnalysisError, SimulationError
+from repro.simulation import (
+    CycleEngine,
+    Node,
+    PopulationSlabs,
+    RngRegistry,
+    ShardCoordinator,
+    average_pairs_inplace,
+    pair_online,
+    slab_churn_step,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_crypto.json"
+
+
+class IdleNode(Node):
+    """A node that does nothing — churn parity only needs online flags."""
+
+    def next_cycle(self, engine, cycle) -> None:
+        pass
+
+    def receive(self, engine, message) -> None:
+        pass
+
+
+class TestPopulationSlabs:
+    def test_allocate_shapes(self):
+        data = np.arange(12.0).reshape(4, 3)
+        slabs = PopulationSlabs.allocate(data, n_clusters=2)
+        assert slabs.estimates.shape == (4, 2 * 4)
+        assert slabs.online.all()
+        assert slabs.n_nodes == 4
+        assert slabs.rng_draws.sum() == 0
+
+    def test_allocate_rejects_bad_estimates_shape(self):
+        data = np.zeros((4, 3))
+        with pytest.raises(SimulationError):
+            PopulationSlabs.allocate(data, 2, estimates=np.zeros((4, 5)))
+
+    def test_allocate_rejects_non_2d_data(self):
+        with pytest.raises(SimulationError):
+            PopulationSlabs.allocate(np.zeros(4), 2)
+
+
+class TestSlabChurnParity:
+    """slab_churn_step flips the same nodes as CycleEngine._apply_churn."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        n_nodes=st.integers(2, 40),
+        churn_rate=st.floats(0.0, 1.0),
+        rejoin_rate=st.floats(0.0, 1.0),
+        cycles=st.integers(1, 8),
+    )
+    def test_flip_parity_with_engine(self, seed, n_nodes, churn_rate,
+                                     rejoin_rate, cycles):
+        nodes = [IdleNode(i) for i in range(n_nodes)]
+        engine = CycleEngine(nodes, seed=seed, churn_rate=churn_rate,
+                             rejoin_rate=rejoin_rate)
+        online = np.ones(n_nodes, dtype=bool)
+        rng = RngRegistry(seed).stream("engine.churn")
+        for cycle in range(cycles):
+            engine._apply_churn(cycle)
+            slab_churn_step(online, churn_rate, rejoin_rate, rng)
+            flags = np.array([node.online for node in nodes])
+            assert np.array_equal(online, flags)
+
+    def test_zero_churn_consumes_no_stream(self):
+        online = np.ones(10, dtype=bool)
+        rng = np.random.default_rng(0)
+        reference = np.random.default_rng(0)
+        flipped = slab_churn_step(online, 0.0, 0.5, rng)
+        assert flipped.size == 0
+        assert online.all()
+        # The stream was not advanced at all.
+        assert rng.random() == reference.random()
+
+    def test_draw_counters_audit_subjects(self):
+        online = np.ones(6, dtype=bool)
+        online[2] = False
+        draws = np.zeros(6, dtype=np.int64)
+        # rejoin possible: every node draws once per step.
+        slab_churn_step(online, 0.3, 0.4, np.random.default_rng(1), draws)
+        assert (draws == 1).all()
+        # rejoin impossible: only online nodes draw.
+        online = np.ones(6, dtype=bool)
+        online[2] = False
+        draws = np.zeros(6, dtype=np.int64)
+        slab_churn_step(online, 0.3, 0.0, np.random.default_rng(1), draws)
+        assert draws[2] == 0
+        assert draws.sum() == 5
+
+
+class TestPairOnline:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n_nodes=st.integers(0, 60),
+           offline=st.sets(st.integers(0, 59)))
+    def test_pairs_are_disjoint_and_online(self, seed, n_nodes, offline):
+        online = np.ones(n_nodes, dtype=bool)
+        for node in offline:
+            if node < n_nodes:
+                online[node] = False
+        pairs = pair_online(online, np.random.default_rng(seed))
+        flat = pairs.ravel()
+        assert len(set(flat.tolist())) == flat.size  # each node in <= 1 pair
+        assert online[flat].all() if flat.size else True
+        assert pairs.shape[0] == int(online.sum()) // 2
+
+    def test_deterministic_given_stream(self):
+        online = np.ones(20, dtype=bool)
+        first = pair_online(online, np.random.default_rng(7))
+        second = pair_online(online, np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+    def test_fewer_than_two_online_is_empty(self):
+        online = np.zeros(5, dtype=bool)
+        online[3] = True
+        pairs = pair_online(online, np.random.default_rng(0))
+        assert pairs.shape == (0, 2)
+
+
+class TestAveragePairs:
+    def test_both_members_adopt_mean(self):
+        estimates = np.array([[2.0, 4.0], [4.0, 8.0], [1.0, 1.0]])
+        average_pairs_inplace(estimates, np.array([[0, 1]]))
+        assert np.array_equal(estimates[0], [3.0, 6.0])
+        assert np.array_equal(estimates[1], [3.0, 6.0])
+        assert np.array_equal(estimates[2], [1.0, 1.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n_nodes=st.integers(2, 50))
+    def test_mass_conservation(self, seed, n_nodes):
+        rng = np.random.default_rng(seed)
+        estimates = rng.normal(size=(n_nodes, 3))
+        before = estimates.sum(axis=0).copy()
+        pairs = pair_online(np.ones(n_nodes, dtype=bool), rng)
+        average_pairs_inplace(estimates, pairs)
+        assert np.allclose(estimates.sum(axis=0), before)
+
+
+class TestShardCoordinator:
+    def test_shard_count_invariance_bitwise(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(40, 9))
+        pairs = pair_online(np.ones(40, dtype=bool), rng)
+        reference = data.copy()
+        average_pairs_inplace(reference, pairs)
+        for shards in (1, 2, 4):
+            with ShardCoordinator(40, 9, shards=shards) as coordinator:
+                coordinator.estimates[:] = data
+                coordinator.average_pairs(pairs)
+                assert np.array_equal(coordinator.estimates, reference), shards
+
+    def test_rounds_accumulate_across_shards(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(30, 4))
+        single = data.copy()
+        with ShardCoordinator(30, 4, shards=3) as coordinator:
+            coordinator.estimates[:] = data
+            for _ in range(5):
+                pairs = pair_online(np.ones(30, dtype=bool), rng)
+                coordinator.average_pairs(pairs)
+                sharded = coordinator.estimates.copy()
+        rng = np.random.default_rng(5)
+        rng.normal(size=(30, 4))  # consume the data draw
+        for _ in range(5):
+            pairs = pair_online(np.ones(30, dtype=bool), rng)
+            average_pairs_inplace(single, pairs)
+        assert np.array_equal(single, sharded)
+
+    def test_shards_capped_by_population(self):
+        coordinator = ShardCoordinator(3, 2, shards=8)
+        try:
+            assert coordinator.shards == 1
+        finally:
+            coordinator.close()
+
+    def test_close_is_idempotent(self):
+        coordinator = ShardCoordinator(10, 2, shards=2)
+        coordinator.close()
+        coordinator.close()
+
+
+class TestBootstrapExtrapolate:
+    def test_full_sample_is_measured_and_exact(self):
+        result = bootstrap_extrapolate({"ops": [1.0, 2.0, 3.0]}, population=3)
+        assert result.method == "measured"
+        estimate, low, high = result.totals["ops"]
+        assert estimate == low == high == 6.0
+
+    def test_sampled_totals_bracket_estimate(self):
+        rng = np.random.default_rng(0)
+        per_node = {"ops": rng.normal(100.0, 5.0, size=50).tolist()}
+        result = bootstrap_extrapolate(per_node, population=10_000, seed=1)
+        assert result.method == "sampled"
+        assert result.sample_size == 50
+        estimate, low, high = result.totals["ops"]
+        assert low <= estimate <= high
+        assert low < high
+        # mean ~100 per node, so ~1e6 total.
+        assert 0.9e6 < estimate < 1.1e6
+
+    def test_deterministic_given_seed(self):
+        per_node = {"ops": [1.0, 5.0, 2.0, 8.0]}
+        first = bootstrap_extrapolate(per_node, 100, seed=3)
+        second = bootstrap_extrapolate(per_node, 100, seed=3)
+        assert first.totals == second.totals
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_extrapolate({"a": [1.0], "b": [1.0, 2.0]}, 10)
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_extrapolate({"a": []}, 10)
+
+    def test_as_dict_round_trip(self):
+        result = bootstrap_extrapolate({"ops": [2.0, 4.0]}, population=2)
+        view = result.as_dict()
+        assert view["method"] == "measured"
+        assert view["population"] == 2
+        assert view["totals"]["ops"]["estimate"] == 6.0
+        # JSON-serialisable for the result store.
+        json.dumps(view)
+
+
+class TestCryptoCostProfileFromBench:
+    def test_reads_committed_bench_file(self):
+        payload = json.loads(BENCH_PATH.read_text())
+        profile = CryptoCostProfile.from_bench_json(payload)
+        assert profile.encryption_seconds > 0
+        assert profile.partial_decryption_seconds > 0
+        assert profile.combination_seconds > 0
+        # 2048-bit modulus, degree 1: ciphertexts live in n^2.
+        assert profile.ciphertext_bytes == (2048 // 8) * 2
+
+    def test_fastmath_column_differs(self):
+        payload = json.loads(BENCH_PATH.read_text())
+        off = CryptoCostProfile.from_bench_json(payload, fastmath="off")
+        fast = CryptoCostProfile.from_bench_json(payload, fastmath="auto")
+        assert fast.encryption_seconds < off.encryption_seconds
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(AnalysisError):
+            CryptoCostProfile.from_bench_json({"operations": {}})
+
+    def test_seconds_for_counts_weights_counters(self):
+        payload = json.loads(BENCH_PATH.read_text())
+        profile = CryptoCostProfile.from_bench_json(payload)
+        seconds = profile.seconds_for_counts({"encryptions": 10})
+        assert seconds == pytest.approx(10 * profile.encryption_seconds)
+        assert profile.seconds_for_counts({}) == 0.0
+
+
+class TestExtrapolatedCost:
+    def test_frozen_value_object(self):
+        cost = ExtrapolatedCost(population=10, sample_size=2, method="sampled",
+                                totals={"ops": (1.0, 0.5, 1.5)})
+        with pytest.raises(AttributeError):
+            cost.population = 5

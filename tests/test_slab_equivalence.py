@@ -1,0 +1,134 @@
+"""End-to-end slab-vs-object equivalence and sampled-crypto extrapolation.
+
+The acceptance contract of the slab engine: with sampling fraction 1.0 and
+one shard on the plain backend, ``engine="slab"`` is bit-identical to
+``engine="object"``; below 1.0 it reports population cost totals with
+bootstrap confidence intervals; at 0.0 it falls back to the symbolic
+workload model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ChiaroscuroConfig
+from repro.core.runner import run_chiaroscuro
+from repro.datasets import load_dataset_for_population
+from repro.exceptions import ConfigurationError
+
+
+def make_config(n: int, **runtime) -> ChiaroscuroConfig:
+    return ChiaroscuroConfig().with_overrides(
+        simulation={"n_participants": n, "seed": 5},
+        kmeans={"n_clusters": 3, "max_iterations": 3},
+        privacy={"epsilon": 4.0, "noise_shares": 12},
+        gossip={"cycles_per_aggregation": 4},
+        crypto={"threshold": 2, "n_key_shares": 4},
+        runtime={"engine": "slab", **runtime},
+    )
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return load_dataset_for_population("gaussian", 60, 5, n_clusters=3,
+                                       noise_std=0.05)
+
+
+class TestFullSamplingIsObjectMode:
+    def test_bit_identical_results(self, collection):
+        slab = run_chiaroscuro(collection, make_config(60))
+        config = make_config(60).with_overrides(runtime={"engine": "object"})
+        obj = run_chiaroscuro(collection, config)
+        assert np.array_equal(slab.profiles, obj.profiles)
+        assert np.array_equal(slab.assignments, obj.assignments)
+        assert slab.n_iterations == obj.n_iterations
+        assert slab.epsilon_spent == obj.epsilon_spent
+        assert slab.costs.messages_sent == obj.costs.messages_sent
+        assert slab.costs.bytes_sent == obj.costs.bytes_sent
+
+    def test_measured_extrapolation_attached(self, collection):
+        result = run_chiaroscuro(collection, make_config(60))
+        extrapolated = result.costs.extrapolated
+        assert extrapolated is not None
+        assert extrapolated["method"] == "measured"
+        assert extrapolated["population"] == 60
+        totals = extrapolated["totals"]
+        # Full sampling: intervals are degenerate, totals match the counters.
+        assert totals["encryptions"]["estimate"] == result.costs.encryptions
+        assert totals["encryptions"]["low"] == totals["encryptions"]["high"]
+        assert result.metadata["engine"]["crypto_sample_fraction"] == 1.0
+
+
+class TestSampledCrypto:
+    @pytest.fixture(scope="class")
+    def sampled(self, collection):
+        return run_chiaroscuro(
+            collection, make_config(60, crypto_sample_fraction=0.25)
+        )
+
+    def test_extrapolated_totals_with_error_bars(self, sampled):
+        extrapolated = sampled.costs.extrapolated
+        assert extrapolated["method"] == "sampled"
+        assert extrapolated["population"] == 60
+        assert 0 < extrapolated["sample_size"] < 60
+        for key in ("encryptions", "partial_decryptions", "combinations",
+                    "messages_sent", "bytes_sent"):
+            entry = extrapolated["totals"][key]
+            assert entry["low"] <= entry["estimate"] <= entry["high"]
+            assert entry["estimate"] > 0
+
+    def test_counters_hold_the_sample_only(self, sampled):
+        # Executed crypto covers only the sampled sub-run, scaled copies
+        # live in the extrapolation.
+        assert 0 < sampled.costs.encryptions
+        assert (sampled.costs.encryptions
+                < sampled.costs.extrapolated["totals"]["encryptions"]["estimate"])
+
+    def test_engine_metadata(self, sampled):
+        engine = sampled.metadata["engine"]
+        assert engine["name"] == "slab"
+        assert engine["population"] == 60
+        assert engine["sample_size"] == engine["crypto_sample_fraction"] * 60
+
+    def test_quality_is_reasonable(self, sampled, collection):
+        # The bulk slab estimate still clusters the gaussian blobs.
+        assert sampled.profiles.shape[0] == 3
+        assert np.isfinite(sampled.inertia)
+        assert len(np.unique(sampled.assignments)) > 1
+
+    def test_shard_count_does_not_change_results(self, collection, sampled):
+        three = run_chiaroscuro(
+            collection,
+            make_config(60, crypto_sample_fraction=0.25, slab_shards=3),
+        )
+        assert np.array_equal(three.profiles, sampled.profiles)
+        assert np.array_equal(three.assignments, sampled.assignments)
+
+
+class TestModelledFallback:
+    def test_zero_fraction_uses_workload_model(self, collection):
+        result = run_chiaroscuro(
+            collection, make_config(60, crypto_sample_fraction=0.0)
+        )
+        extrapolated = result.costs.extrapolated
+        assert extrapolated["method"] == "modelled"
+        assert extrapolated["sample_size"] == 0
+        assert extrapolated["totals"]["encryptions"]["estimate"] > 0
+        # Nothing was executed.
+        assert result.costs.encryptions == 0
+
+
+class TestConfigGuards:
+    def test_slab_requires_cycle_mode(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(
+                runtime={"engine": "slab", "mode": "live"}
+            )
+
+    def test_sampling_rejects_message_loss(self):
+        with pytest.raises(ConfigurationError):
+            ChiaroscuroConfig().with_overrides(
+                runtime={"engine": "slab", "crypto_sample_fraction": 0.5},
+                gossip={"drop_probability": 0.1},
+            )

@@ -9,6 +9,7 @@ from .costs import (
     measure_crypto_costs,
     sweep_crypto_costs,
 )
+from .envelope import align_profiles, nondeterminism_envelope
 from .profiles import ProfileMatch, closest_profiles, match_subsequence, profile_recall
 from .quality import (
     centralized_reference,
@@ -27,6 +28,8 @@ __all__ = [
     "ProtocolWorkload",
     "measure_crypto_costs",
     "sweep_crypto_costs",
+    "align_profiles",
+    "nondeterminism_envelope",
     "ProfileMatch",
     "match_subsequence",
     "closest_profiles",

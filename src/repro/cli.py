@@ -86,6 +86,9 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
             "processes": args.processes,
             "base_port": args.live_port,
             "run_timeout": args.live_timeout,
+            "stepping": args.stepping,
+            "concurrency": args.live_concurrency,
+            "envelope": args.envelope,
             "engine": args.engine,
             "slab_shards": args.slab_shards,
             "crypto_sample_fraction": args.sample_fraction,
@@ -134,6 +137,21 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                         help="first worker port of the live runner (0 = ephemeral)")
     parser.add_argument("--live-timeout", type=float, default=300.0,
                         help="hard wall-clock limit in seconds on a live run")
+    parser.add_argument("--stepping", default="sequential",
+                        choices=["sequential", "concurrent"],
+                        help="live stepping discipline: sequential replays the "
+                             "cycle engine's scheduler (bit-identical results), "
+                             "concurrent drives every worker's shard with many "
+                             "exchanges in flight (faster, nondeterministic — "
+                             "the divergence is reported as envelope metrics)")
+    parser.add_argument("--live-concurrency", type=int, default=8,
+                        help="per-worker cap on node steps in flight with "
+                             "--stepping concurrent")
+    parser.add_argument("--envelope", default="auto", choices=["auto", "off"],
+                        help="with --stepping concurrent: auto runs the "
+                             "deterministic cycle-mode reference afterwards and "
+                             "reports divergence metrics in the cost summary; "
+                             "off skips the reference run")
     parser.add_argument("--engine", default="object", choices=["object", "slab"],
                         help="population engine: object (one participant object "
                              "per node) or slab (vectorised struct-of-arrays "
@@ -336,11 +354,23 @@ def _command_experiment_list(args: argparse.Namespace) -> int:
 
 
 def _command_experiment_report(args: argparse.Namespace) -> int:
-    from .experiments import ExperimentSpec, ResultStore, format_report
+    from .experiments import (
+        ExperimentSpec,
+        ResultStore,
+        format_cross_report,
+        format_report,
+    )
 
     spec = ExperimentSpec.from_file(args.spec)
-    store = ResultStore(args.store or _default_store_path(args.spec))
-    report = format_report(spec, store, markdown=args.markdown)
+    stores = args.store or [str(_default_store_path(args.spec))]
+    if len(stores) > 1:
+        # Cross-store join: one table aligning the same spec's cells across
+        # several result stores (e.g. a sequential and a concurrent sweep).
+        sources = [(Path(path).stem, ResultStore(path)) for path in stores]
+        report = format_cross_report(spec, sources, markdown=args.markdown)
+    else:
+        store = ResultStore(stores[0])
+        report = format_report(spec, store, markdown=args.markdown)
     if args.out:
         out_path = Path(args.out)
         if out_path.parent != Path(""):
@@ -433,8 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_report.add_argument("--spec", required=True,
                             help="experiment spec file (.json or .toml)")
-    exp_report.add_argument("--store", default=None,
-                            help="result store path (default: results/<spec>.jsonl)")
+    exp_report.add_argument("--store", action="append", default=None,
+                            help="result store path (default: results/<spec>.jsonl); "
+                                 "repeat the flag to join several stores of the "
+                                 "same spec into one cross-store comparison table")
     exp_report.add_argument("--markdown", action="store_true",
                             help="emit a markdown report instead of aligned text")
     exp_report.add_argument("--out", default=None,

@@ -49,6 +49,19 @@ RUNTIME_MODES = ("cycle", "live")
 #: (``slab``; see :mod:`repro.simulation.slab`).
 RUNTIME_ENGINES = ("object", "slab")
 
+#: Stepping disciplines of the live runner: ``sequential`` replays the cycle
+#: engine's scheduler stream one node at a time (bit-identical to cycle
+#: mode), ``concurrent`` lets every worker drive its shard with many gossip
+#: exchanges in flight simultaneously (faster, nondeterministic interleaving;
+#: see the nondeterminism envelope in :mod:`repro.analysis.envelope`).
+RUNTIME_STEPPING = ("sequential", "concurrent")
+
+#: Nondeterminism-envelope policies of concurrent live runs: ``auto`` runs a
+#: cycle-mode reference with the same seed and reports the divergence
+#: (profile distance, assignment churn, byte spread) in ``costs.envelope``;
+#: ``off`` skips the reference run.
+RUNTIME_ENVELOPE = ("auto", "off")
+
 
 @dataclass(frozen=True)
 class KMeansConfig:
@@ -318,6 +331,31 @@ class RuntimeConfig:
     run_timeout:
         Hard wall-clock limit in seconds on a whole live run; exceeding it
         terminates the workers and raises a protocol error.
+    stepping:
+        Stepping discipline of the live runner.  ``"sequential"`` (default)
+        replays the cycle engine's scheduler stream one node at a time, so
+        live results are bit-identical to cycle mode.  ``"concurrent"``
+        drops that barrier: each worker steps its whole shard per epoch with
+        up to ``concurrency`` node steps (and their gossip exchanges) in
+        flight simultaneously, the coordinator only synchronising epochs.
+        Concurrent interleaving perturbs the merge order, so results differ
+        from cycle mode within a measured nondeterminism envelope (see
+        ``envelope``).
+    concurrency:
+        Per-worker limit on concurrently in-flight node steps under
+        ``stepping="concurrent"``.
+    envelope:
+        Whether a concurrent live run also executes a cycle-mode reference
+        with the same seed and reports the divergence (profile distance,
+        assignment churn, byte spread) in ``costs.envelope``: ``"auto"``
+        (default) does, ``"off"`` skips the reference run (e.g. throughput
+        benchmarks, where the reference would dominate the wall clock).
+    write_buffer_limit:
+        High-water mark in bytes of every live-runner socket writer.  A
+        writer whose OS-level send buffer backs up past this limit blocks in
+        ``drain()`` until the peer catches up (asyncio flow control), so a
+        slow reader bounds the sender's memory instead of growing an
+        unbounded write buffer.
     engine:
         Population engine of cycle mode.  ``"object"`` (default) instantiates
         one :class:`~repro.core.participant.ChiaroscuroParticipant` per node.
@@ -342,12 +380,20 @@ class RuntimeConfig:
     base_port: int = 0
     connect_timeout: float = 10.0
     run_timeout: float = 300.0
+    stepping: str = "sequential"
+    concurrency: int = 8
+    envelope: str = "auto"
+    write_buffer_limit: int = 1 << 16
     engine: str = "object"
     slab_shards: int = 1
     crypto_sample_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         check_in_choices(self.mode, RUNTIME_MODES, "mode")
+        check_in_choices(self.stepping, RUNTIME_STEPPING, "stepping")
+        check_in_choices(self.envelope, RUNTIME_ENVELOPE, "envelope")
+        check_positive_int(self.concurrency, "concurrency")
+        check_positive_int(self.write_buffer_limit, "write_buffer_limit")
         check_in_choices(self.engine, RUNTIME_ENGINES, "engine")
         check_positive_int(self.slab_shards, "slab_shards")
         check_probability(self.crypto_sample_fraction, "crypto_sample_fraction")

@@ -38,6 +38,13 @@ class CostSummary:
     that case the plain counter fields above hold what was actually
     *executed* (the sample), while ``extrapolated`` holds the inferred
     population totals.
+
+    ``envelope`` is only set by concurrent live runs
+    (``runtime.stepping="concurrent"`` with ``runtime.envelope="auto"``):
+    the :func:`~repro.analysis.envelope.nondeterminism_envelope` view of
+    this run's divergence from the deterministic cycle-mode reference —
+    profile distance, assignment churn and byte spread — quantifying the
+    speed/determinism trade-off the concurrent scheduler makes.
     """
 
     n_participants: int
@@ -52,6 +59,7 @@ class CostSummary:
     wire: str = "off"
     iteration_costs: tuple[Mapping[str, float], ...] = ()
     extrapolated: Mapping[str, Any] | None = None
+    envelope: Mapping[str, Any] | None = None
 
     @property
     def messages_per_participant(self) -> float:
@@ -117,10 +125,13 @@ class CostSummary:
             "iteration_bytes_sent": self.bytes_per_iteration(),
             "iteration_messages_sent": self.messages_per_iteration(),
         }
-        # Only slab-engine runs carry extrapolated totals; keeping the key
-        # absent otherwise leaves historical store rows byte-identical.
+        # Only slab-engine runs carry extrapolated totals, and only
+        # concurrent live runs carry an envelope; keeping the keys absent
+        # otherwise leaves historical store rows byte-identical.
         if self.extrapolated is not None:
             view["extrapolated"] = dict(self.extrapolated)
+        if self.envelope is not None:
+            view["envelope"] = dict(self.envelope)
         return view
 
 

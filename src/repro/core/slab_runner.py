@@ -513,7 +513,17 @@ def _run_sampled(
                 break
             iteration += 1
             accountant.spend(epsilon, label=f"iteration-{iteration}")
+            previous_assigned = slabs.assigned.copy() if iteration > 1 else None
             slabs.assigned = assign_to_centroids(data, centroids).astype(np.int32)
+            # Reference-free convergence signal: the fraction of nodes whose
+            # cluster label survived from the previous iteration.  It is a
+            # byproduct of the assignment pass (one vector compare over the
+            # slab), and unlike displacement it reads directly in label
+            # space — a flat 1.0 tail is the slab run's convergence curve.
+            label_agreement = (
+                float(np.mean(slabs.assigned == previous_assigned))
+                if previous_assigned is not None else 1.0
+            )
             _scatter_contributions(slabs.estimates, data, slabs.assigned)
             spec = NoiseShareSpec(
                 scale=sensitivity.laplace_scale(epsilon),
@@ -582,6 +592,7 @@ def _run_sampled(
                     costs={
                         "messages_sent": float(bulk_messages - messages_before),
                         "bytes_sent": float(bulk_bytes - bytes_before),
+                        "label_agreement": label_agreement,
                     },
                 )
             )

@@ -20,7 +20,13 @@ This package turns the library from "a run" into "an evaluation campaign":
 The CLI front-end is ``repro experiment run|report --spec FILE``.
 """
 
-from .report import comparison_rows, format_report, scenario_rows
+from .report import (
+    comparison_rows,
+    cross_store_rows,
+    format_cross_report,
+    format_report,
+    scenario_rows,
+)
 from .runner import ExperimentProgress, run_experiment
 from .spec import ExperimentSpec, ScenarioCell
 from .store import ResultStore, result_row
@@ -34,5 +40,7 @@ __all__ = [
     "result_row",
     "scenario_rows",
     "comparison_rows",
+    "cross_store_rows",
+    "format_cross_report",
     "format_report",
 ]

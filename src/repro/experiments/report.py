@@ -36,6 +36,10 @@ DEFAULT_METRICS = (
     "messages_per_participant",
     "bytes_per_participant",
     "wall_clock_seconds",
+    # Nondeterminism envelope of concurrent live runs (absent otherwise).
+    "envelope.profile_distance_relative",
+    "envelope.assignment_churn",
+    "envelope.byte_spread",
 )
 
 
@@ -77,6 +81,10 @@ def _flat_row(spec: ExperimentSpec, cell: ScenarioCell, row: Mapping[str, Any],
         "profiles_digest": result.get("profiles_digest"),
         "wall_clock_seconds": row.get("timing", {}).get("wall_clock_seconds"),
     })
+    # Concurrent live runs attach divergence-from-reference metrics; flatten
+    # them under an "envelope." prefix so they render as ordinary columns.
+    for key, value in (result.get("costs", {}).get("envelope") or {}).items():
+        flat[f"envelope.{key}"] = value
     flat["iteration_costs"] = result.get("iteration_costs", [])
     flat.pop("stop_reasons", None)
     return flat
@@ -248,6 +256,70 @@ def iteration_cost_rows(
             row[label] = series[iteration] if iteration < len(series) else ""
         out.append(row)
     return out
+
+
+def cross_store_rows(
+    spec: ExperimentSpec,
+    sources: Sequence[tuple[str, ResultStore]],
+    metrics: Sequence[str] | None = None,
+) -> list[dict[str, Any]]:
+    """Join several result stores of one spec into a single comparison table.
+
+    *sources* is a sequence of ``(label, store)`` pairs — e.g. the stores of
+    a sequential and a concurrent sweep of the same scenario matrix.  Cells
+    align automatically: each store is read through
+    :func:`scenario_rows`, which keys rows by the cell's content hash, so
+    two stores line up exactly when they ran the same spec (axis values
+    included in every row make the alignment visible).  The output carries
+    one row per (scenario, source) with a leading ``store`` column,
+    scenario-major — the rows being diffed sit next to each other.
+    """
+    per_source: list[tuple[str, list[dict[str, Any]]]] = [
+        (label, comparison_rows(spec, store, metrics=metrics, spread=False))
+        for label, store in sources
+    ]
+    scenarios = sorted({
+        int(row["scenario"]) for _, rows in per_source for row in rows
+    })
+    out: list[dict[str, Any]] = []
+    for scenario in scenarios:
+        for label, rows in per_source:
+            match = next(
+                (row for row in rows if int(row["scenario"]) == scenario), None
+            )
+            if match is not None:
+                out.append({"store": label, **match})
+    return out
+
+
+def format_cross_report(
+    spec: ExperimentSpec,
+    sources: Sequence[tuple[str, ResultStore]],
+    markdown: bool = False,
+    metrics: Sequence[str] | None = None,
+    precision: int = 4,
+) -> str:
+    """Render the multi-store comparison of one spec as text or markdown."""
+    table = format_markdown_table if markdown else format_table
+    rows = cross_store_rows(spec, sources, metrics=metrics)
+    lines: list[str] = []
+    if markdown:
+        lines.append(f"# Experiment: {spec.name} (cross-store)")
+    else:
+        lines.append(f"experiment: {spec.name} (cross-store)")
+    if spec.description:
+        lines.append(spec.description)
+    lines.append("stores: " + ", ".join(label for label, _ in sources))
+    lines.append("")
+    if not rows:
+        lines.append("no completed cells in any of the result stores yet — run "
+                     "the experiment first (repro experiment run --spec ...)")
+        return "\n".join(lines)
+    hidden = {"scenario"} if len(spec.axis_keys()) > 0 else set()
+    columns = [column for column in rows[0] if column not in hidden]
+    lines.append(table(rows, columns=columns, precision=precision,
+                       title="cross-store scenario comparison"))
+    return "\n".join(lines)
 
 
 def format_report(

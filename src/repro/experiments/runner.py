@@ -32,7 +32,33 @@ from .store import ResultStore, failure_row, result_row
 _POLL_INTERVAL = 0.02
 
 
-def execute_cell(spec: ExperimentSpec, cell: ScenarioCell) -> dict[str, Any]:
+def _cell_runtime_ports(config, slot: int):
+    """Give concurrently running live cells disjoint port blocks.
+
+    A live cell with a nonzero ``runtime.base_port`` binds the coordinator
+    at ``base_port`` and worker *i* at ``base_port + 1 + i``.  Two such
+    cells in flight at once (``jobs > 1``) would collide, so each scheduler
+    slot shifts the block by ``slot * (processes + 1)`` ports.  Slot 0 (and
+    every ephemeral-port or cycle-mode cell) passes through untouched —
+    ``jobs=1`` sweeps are byte-identical to before.  A shifted block that
+    would overflow the port range falls back to ephemeral ports rather
+    than failing the cell.
+
+    The override happens inside the forked worker, after the cell's
+    content-hash key is fixed, so store keys and ``--resume`` caching are
+    unaffected by which slot a cell happened to run in.
+    """
+    runtime = config.runtime
+    if runtime.mode != "live" or runtime.base_port == 0 or slot == 0:
+        return config
+    base = runtime.base_port + slot * (runtime.processes + 1)
+    if base + runtime.processes >= 1 << 16:
+        return config.with_overrides(runtime={"base_port": 0})
+    return config.with_overrides(runtime={"base_port": base})
+
+
+def execute_cell(spec: ExperimentSpec, cell: ScenarioCell,
+                 port_slot: int = 0) -> dict[str, Any]:
     """Run one scenario cell to completion and return its ``ok`` store row.
 
     This is the whole cell recipe — exactly what an equivalent standalone
@@ -51,7 +77,7 @@ def execute_cell(spec: ExperimentSpec, cell: ScenarioCell) -> dict[str, Any]:
     from ..core.runner import normalize_collection, run_chiaroscuro
 
     collection = cell.load_collection()
-    config = cell.config()
+    config = _cell_runtime_ports(cell.config(), port_slot)
     started = time.perf_counter()
     result = run_chiaroscuro(collection, config)
     wall_clock = time.perf_counter() - started
@@ -70,12 +96,13 @@ def execute_cell(spec: ExperimentSpec, cell: ScenarioCell) -> dict[str, Any]:
     return result_row(spec, cell, result, quality, wall_clock)
 
 
-def _cell_worker(connection, spec_payload: dict[str, Any], cell_index: int) -> None:
+def _cell_worker(connection, spec_payload: dict[str, Any], cell_index: int,
+                 port_slot: int = 0) -> None:
     """Forked entry point: execute one cell, send the row (or the error) back."""
     try:
         spec = ExperimentSpec.from_dict(spec_payload)
         cell = spec.expand()[cell_index]
-        row = execute_cell(spec, cell)
+        row = execute_cell(spec, cell, port_slot=port_slot)
         connection.send(("ok", row))
     except Exception as exc:
         # Domain errors (ReproError) and unexpected ones alike become an
@@ -120,6 +147,7 @@ class _ActiveCell:
     cell: ScenarioCell
     started: float
     deadline: float | None
+    port_slot: int = 0
 
 
 def run_experiment(
@@ -193,6 +221,12 @@ def run_experiment(
     active: dict[int, _ActiveCell] = {}
     finished_rows: dict[int, dict[str, Any]] = {}
     next_to_write = 0
+    # One port slot per concurrently running cell: live cells with a fixed
+    # base_port get disjoint port blocks derived from their slot (see
+    # _cell_runtime_ports), so --jobs > 1 cannot collide on ports.  Slots
+    # are recycled as cells settle, keeping the block range bounded by
+    # *jobs* rather than by the matrix size.
+    free_slots = list(range(jobs))
 
     def flush() -> None:
         nonlocal next_to_write
@@ -202,6 +236,7 @@ def run_experiment(
 
     def settle(position: int, row: dict[str, Any]) -> None:
         entry = active.pop(position)
+        free_slots.append(entry.port_slot)
         entry.connection.close()
         entry.process.join(timeout=5.0)
         if entry.process.is_alive():  # pragma: no cover - stuck after result
@@ -218,10 +253,12 @@ def run_experiment(
         while pending or active:
             while pending and len(active) < jobs:
                 position, cell = pending.popleft()
+                slot = min(free_slots)
+                free_slots.remove(slot)
                 parent_end, child_end = context.Pipe(duplex=False)
                 process = context.Process(
                     target=_cell_worker,
-                    args=(child_end, spec_payload, cell.index),
+                    args=(child_end, spec_payload, cell.index, slot),
                 )
                 process.start()
                 child_end.close()
@@ -229,6 +266,7 @@ def run_experiment(
                 active[position] = _ActiveCell(
                     process=process, connection=parent_end, cell=cell,
                     started=now, deadline=(now + timeout) if timeout else None,
+                    port_slot=slot,
                 )
                 say(f"running {cell.label()}")
             made_progress = False

@@ -20,6 +20,7 @@ This package owns *how bytes move* between participants, independently of
 """
 
 from .envelope import (
+    DEFAULT_WRITE_BUFFER_LIMIT,
     KIND_CONTROL,
     KIND_FRAME,
     Envelope,
@@ -52,6 +53,7 @@ def __getattr__(name: str):
     return getattr(import_module(f".{module_name}", __name__), name)
 
 __all__ = [
+    "DEFAULT_WRITE_BUFFER_LIMIT",
     "Envelope",
     "EnvelopeError",
     "KIND_CONTROL",

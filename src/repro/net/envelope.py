@@ -50,6 +50,15 @@ FLAG_REPLY = 0x01
 #: over a socket.
 MAX_RECORD_BYTES = MAX_FRAME_BYTES + (1 << 20)
 
+#: Default high-water mark (bytes) on a record connection's transport write
+#: buffer: a writer racing ahead of a slow reader parks in ``drain()`` once
+#: this much is queued, instead of buffering records without bound.  64 KiB
+#: holds a handful of typical diptych frames — deep enough to pipeline,
+#: shallow enough that backpressure engages before memory does.
+#: ``RuntimeConfig.write_buffer_limit`` (which overrides this per run)
+#: defaults to the same value.
+DEFAULT_WRITE_BUFFER_LIMIT = 1 << 16
+
 _PREFIX_BYTES = 4
 _FIXED_BYTES = 1 + 8 + 1 + 4  # kind + correlation id + flags + header length
 

@@ -14,8 +14,12 @@ Architecture::
     coordinator (parent process)
       - derives the RunSetup (data, backend+keys, overlay, seeds)
       - forks N workers, serves the control channel
-      - replays the cycle engine's scheduler stream and steps participants
-        one at a time, in the exact global order the CycleEngine would use
+      - stepping="sequential": replays the cycle engine's scheduler stream
+        and steps participants one at a time, in the exact global order the
+        CycleEngine would use
+      - stepping="concurrent": enforces iteration epochs only — one
+        run-cycle request per worker per epoch, every worker advancing its
+        whole shard with many exchanges in flight
       - collects per-node histories + traffic, assembles the result
 
     worker i (OS process)
@@ -26,11 +30,18 @@ Architecture::
       - accounts traffic for its own nodes only (the authoritative
         byte-count site of :mod:`repro.net.transport`)
 
-Determinism: because stepping is sequential in the replayed scheduler
-order, peer sampling uses the same per-node streams, and homomorphic
-averaging is commutative in the plaintexts, a live run produces *the same
-clustering results* as ``mode="cycle"`` with the same seed — bit-identical
-for every backend, since threshold decryption is exact integer arithmetic.
+Determinism: with the default ``runtime.stepping="sequential"``, stepping
+follows the replayed scheduler order, peer sampling uses the same per-node
+streams, and homomorphic averaging is commutative in the plaintexts, so a
+live run produces *the same clustering results* as ``mode="cycle"`` with
+the same seed — bit-identical for every backend, since threshold
+decryption is exact integer arithmetic.  With
+``runtime.stepping="concurrent"`` that barrier is dropped for throughput:
+workers drive their shards with up to ``runtime.concurrency`` node steps
+in flight each, the interleaving becomes timing-dependent, and the run is
+no longer bit-reproducible — the divergence from the deterministic
+reference is measured and reported as the ``envelope`` field of the cost
+summary (see :mod:`repro.analysis.envelope`).
 The caveats (see README "Live runner"): the two sides of a gossip exchange
 hold independently re-randomized ciphertexts rather than one shared
 object (identical plaintexts), control-plane records (probes, stepping,
@@ -51,7 +62,7 @@ import os
 import socket
 import sys
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Awaitable, Callable, Sequence
 
 import numpy as np
@@ -72,12 +83,14 @@ from ..core.participant import (
     gossip_decision,
     peer_sampling_stream,
 )
+from ..analysis.envelope import nondeterminism_envelope
 from ..core.runner import (
     ParticipantOutcome,
     RunSetup,
     assemble_result,
     build_run_setup,
     plan_max_cycles,
+    run_chiaroscuro,
     run_log_metadata,
 )
 from ..crypto.wire import wire_ciphertext_bytes
@@ -94,6 +107,7 @@ from ..simulation.rng import RngRegistry
 from ..timeseries import TimeSeriesCollection
 from .bootstrap import MembershipDirectory, key_announcement_for, verify_key_announcement
 from .envelope import (
+    DEFAULT_WRITE_BUFFER_LIMIT,
     KIND_CONTROL,
     KIND_FRAME,
     Envelope,
@@ -112,12 +126,17 @@ class SocketStats:
     :class:`~repro.simulation.network.TrafficStats`: protocol accounting
     charges frame bytes only, while these counters measure everything that
     actually crossed the sockets (envelopes, control records, bootstrap).
+
+    ``drain_waits`` counts the writes that found the transport buffer above
+    its high-water mark and had to wait for the kernel to drain it — the
+    observable signature of backpressure engaging against a slow reader.
     """
 
     bytes_sent: int = 0
     bytes_received: int = 0
     records_sent: int = 0
     records_received: int = 0
+    drain_waits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -125,26 +144,57 @@ class SocketStats:
             "bytes_received": self.bytes_received,
             "records_sent": self.records_sent,
             "records_received": self.records_received,
+            "drain_waits": self.drain_waits,
         }
 
 
 class FrameConnection:
-    """One TCP connection moving length-prefixed envelope records."""
+    """One TCP connection moving length-prefixed envelope records.
+
+    Writes apply backpressure instead of buffering without bound: the
+    transport's high-water mark is set to *write_buffer_limit* and every
+    write drains after handing its record to the transport, so a writer
+    racing ahead of a slow reader parks in ``drain()`` once the buffer
+    crosses the mark (counted in ``SocketStats.drain_waits``).  Only the
+    ``write()`` call itself is serialized under the lock — records stay
+    whole and ordered — while the drain happens outside it, so concurrent
+    senders pipeline their records back-to-back onto one connection
+    instead of taking turns at full round-trips.
+    """
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
-                 stats: SocketStats) -> None:
+                 stats: SocketStats,
+                 write_buffer_limit: int | None = DEFAULT_WRITE_BUFFER_LIMIT) -> None:
         self._reader = reader
         self._writer = writer
         self._stats = stats
         self._write_lock = asyncio.Lock()
+        self._high_water = write_buffer_limit
+        if write_buffer_limit is not None:
+            writer.transport.set_write_buffer_limits(high=write_buffer_limit)
+        # Disable Nagle explicitly: asyncio only does it when sock.proto is
+        # IPPROTO_TCP, which connections accepted from a manually created
+        # listener (proto 0) fail — and a Nagle'd reply stream interacts
+        # with delayed ACKs into ~40ms stalls whenever two small replies go
+        # out back to back, which is the normal case under concurrent
+        # stepping (sequential ping-pong never trips it).
+        sock = writer.get_extra_info("socket")
+        if sock is not None and sock.family in (socket.AF_INET, socket.AF_INET6):
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP or closed socket
+                pass
 
     async def write(self, envelope: Envelope) -> None:
         record = encode_envelope(envelope)
         async with self._write_lock:
             self._writer.write(record)
-            await self._writer.drain()
-        self._stats.bytes_sent += len(record)
-        self._stats.records_sent += 1
+            self._stats.bytes_sent += len(record)
+            self._stats.records_sent += 1
+        if (self._high_water is not None
+                and self._writer.transport.get_write_buffer_size() > self._high_water):
+            self._stats.drain_waits += 1
+        await self._writer.drain()
 
     async def read(self) -> Envelope:
         prefix = await self._reader.readexactly(4)
@@ -260,6 +310,7 @@ class WorkerTransport:
         handler: "WorkerProtocolHandler",
         stats: SocketStats,
         connect_timeout: float,
+        write_buffer_limit: int | None = None,
     ) -> None:
         self.worker_index = worker_index
         self.local_ids = local_ids
@@ -267,10 +318,12 @@ class WorkerTransport:
         self.handler = handler
         self.socket_stats = stats
         self.connect_timeout = connect_timeout
+        self.write_buffer_limit = write_buffer_limit
         self.ledger = Network(n_nodes=n_nodes, drop_probability=0.0)
         self.iteration_traffic: dict[int, dict[str, float]] = {}
         self._peer_channels: dict[tuple[str, int], RequestChannel] = {}
         self._peer_tasks: list[asyncio.Task] = []
+        self._dial_locks: dict[tuple[str, int], asyncio.Lock] = {}
 
     # ------------------------------------------------------------------ accounting
     def _account_send(self, sender: int, recipient: int, kind: str,
@@ -302,16 +355,31 @@ class WorkerTransport:
 
     # ------------------------------------------------------------------ links
     async def _channel_to(self, node_id: int) -> RequestChannel:
+        """The (single, reused) request channel to the worker hosting *node_id*.
+
+        One connection per worker pair, created on first use and shared by
+        every local node thereafter — concurrent requests pipeline over it
+        via their correlation ids.  The per-address dial lock keeps
+        concurrent first users from racing to open duplicate connections.
+        """
         address = self.directory.address_of(node_id)
         channel = self._peer_channels.get(address)
-        if channel is None:
-            reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(address[0], address[1]),
-                timeout=self.connect_timeout,
-            )
-            channel = RequestChannel(FrameConnection(reader, writer, self.socket_stats))
-            self._peer_channels[address] = channel
-            self._peer_tasks.append(asyncio.create_task(channel.pump()))
+        if channel is not None:
+            return channel
+        lock = self._dial_locks.setdefault(address, asyncio.Lock())
+        async with lock:
+            channel = self._peer_channels.get(address)
+            if channel is None:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(address[0], address[1]),
+                    timeout=self.connect_timeout,
+                )
+                channel = RequestChannel(FrameConnection(
+                    reader, writer, self.socket_stats,
+                    write_buffer_limit=self.write_buffer_limit,
+                ))
+                self._peer_channels[address] = channel
+                self._peer_tasks.append(asyncio.create_task(channel.pump()))
         return channel
 
     def close(self) -> None:
@@ -728,6 +796,7 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
         handler=handler,
         stats=stats,
         connect_timeout=runtime.connect_timeout,
+        write_buffer_limit=runtime.write_buffer_limit,
     )
     driver = LiveParticipantDriver(setup, participants, transport)
     meter = _CryptoMeter(setup.backend.counter, transport.iteration_traffic)
@@ -766,7 +835,9 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
     async def serve_peer(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
         channel = RequestChannel(
-            FrameConnection(reader, writer, stats), handle_peer_record
+            FrameConnection(reader, writer, stats,
+                            write_buffer_limit=runtime.write_buffer_limit),
+            handle_peer_record,
         )
         try:
             await channel.pump()
@@ -818,6 +889,33 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
             meter.charge(participants[stepped].iteration)
             return Envelope(kind=KIND_CONTROL, correlation_id=0,
                             header=result, is_reply=True)
+        if op == "run-cycle":
+            # Concurrent stepping: drive every not-yet-done local node
+            # through one cycle as its own asyncio task, many exchanges in
+            # flight at once, bounded by runtime.concurrency.  The crypto
+            # meter's per-iteration attribution is approximate under this
+            # interleaving (totals stay exact); the accounting contract's
+            # byte charging is unaffected because every send is still
+            # charged synchronously at its sending node.
+            if not bootstrapped.is_set():
+                raise ProtocolError("run-cycle before bootstrap completed")
+            semaphore = asyncio.Semaphore(runtime.concurrency)
+
+            async def step_node(node_id: int) -> bool:
+                async with semaphore:
+                    stepped = await driver.step(node_id)
+                    meter.charge(participants[node_id].iteration)
+                    return bool(stepped["done"])
+
+            outcomes = await asyncio.gather(*(
+                step_node(node_id) for node_id in local_ids
+                if not participants[node_id].is_done
+            ))
+            pending = sum(1 for done in outcomes if not done)
+            return Envelope(kind=KIND_CONTROL, correlation_id=0,
+                            header={"pending": pending,
+                                    "stepped": len(outcomes)},
+                            is_reply=True)
         if op == "collect":
             payload = {
                 "worker": worker_index,
@@ -847,7 +945,9 @@ async def _worker_async(worker_index: int, setup: RunSetup, local_ids: list[int]
         timeout=runtime.connect_timeout,
     )
     coordinator = RequestChannel(
-        FrameConnection(reader, writer, stats), handle_coordinator_record
+        FrameConnection(reader, writer, stats,
+                        write_buffer_limit=runtime.write_buffer_limit),
+        handle_coordinator_record,
     )
     pump_task = asyncio.create_task(coordinator.pump())
 
@@ -1005,7 +1105,11 @@ class LiveRunner:
             )
             box = [link]
             channel = RequestChannel(
-                FrameConnection(reader, writer, stats), link_handler(box)
+                FrameConnection(
+                    reader, writer, stats,
+                    write_buffer_limit=setup.config.runtime.write_buffer_limit,
+                ),
+                link_handler(box),
             )
             link.channel = channel
             pump_tasks.append(asyncio.create_task(channel.pump()))
@@ -1062,30 +1166,55 @@ class LiveRunner:
                         f"worker {link.worker_index} failed to bootstrap"
                     )
 
-            # Replay the cycle engine's scheduler stream: same permutations,
-            # same global stepping order, one participant at a time.
-            owner = {
-                node_id: links[node_id % self.n_processes]
-                for node_id in range(setup.n_participants)
-            }
-            scheduler = RngRegistry(setup.config.simulation.seed).stream(
-                "engine.scheduler"
-            )
-            done = [False] * setup.n_participants
             max_cycles = plan_max_cycles(setup.config, self.max_extra_cycles)
             cycles_run = 0
-            for _ in range(max_cycles):
-                order = scheduler.permutation(setup.n_participants)
-                for node_index in order:
-                    node_id = int(node_index)
-                    reply = await owner[node_id].channel.request(Envelope(
-                        kind=KIND_CONTROL, correlation_id=0,
-                        header={"op": "step", "node": node_id},
+            if setup.config.runtime.stepping == "concurrent":
+                # Concurrent stepping: the coordinator only enforces
+                # iteration epochs.  One run-cycle request per worker per
+                # epoch, all workers advancing their shards simultaneously
+                # with many exchanges in flight; stop when every worker
+                # reports zero pending participants.  No scheduler stream
+                # is consumed — the interleaving is timing-dependent, which
+                # is exactly the nondeterminism the envelope metrics
+                # quantify.
+                for _ in range(max_cycles):
+                    replies = await asyncio.gather(*(
+                        link.channel.request(Envelope(
+                            kind=KIND_CONTROL, correlation_id=0,
+                            header={"op": "run-cycle"},
+                        ))
+                        for link in links.values()
                     ))
-                    done[node_id] = bool(reply.header.get("done"))
-                cycles_run += 1
-                if all(done):
-                    break
+                    cycles_run += 1
+                    pending = sum(
+                        int(reply.header.get("pending", 0)) for reply in replies
+                    )
+                    if pending == 0:
+                        break
+            else:
+                # Replay the cycle engine's scheduler stream: same
+                # permutations, same global stepping order, one participant
+                # at a time — bit-identical to mode="cycle".
+                owner = {
+                    node_id: links[node_id % self.n_processes]
+                    for node_id in range(setup.n_participants)
+                }
+                scheduler = RngRegistry(setup.config.simulation.seed).stream(
+                    "engine.scheduler"
+                )
+                done = [False] * setup.n_participants
+                for _ in range(max_cycles):
+                    order = scheduler.permutation(setup.n_participants)
+                    for node_index in order:
+                        node_id = int(node_index)
+                        reply = await owner[node_id].channel.request(Envelope(
+                            kind=KIND_CONTROL, correlation_id=0,
+                            header={"op": "step", "node": node_id},
+                        ))
+                        done[node_id] = bool(reply.header.get("done"))
+                    cycles_run += 1
+                    if all(done):
+                        break
 
             collected: list[dict[str, Any]] = []
             for link in links.values():
@@ -1246,15 +1375,18 @@ def run_live_chiaroscuro(
     ]
     log = _rebuild_log(setup, collection.name, nodes,
                        iteration_traffic=iteration_traffic)
+    runtime = config.runtime
     extra_metadata = {
         "live": {
             "processes": runner.n_processes,
             "cycles_run": outcome.cycles_run,
+            "stepping": runtime.stepping,
+            "concurrency": runtime.concurrency,
             "socket": socket_totals,
             "coordinator_socket": outcome.coordinator_socket,
         },
     }
-    return assemble_result(
+    result = assemble_result(
         setup,
         collection.name,
         outcomes,
@@ -1265,3 +1397,19 @@ def run_live_chiaroscuro(
         log=log,
         extra_metadata=extra_metadata,
     )
+    if runtime.stepping == "concurrent" and runtime.envelope == "auto":
+        # Quantify the nondeterminism this run's concurrent interleaving
+        # introduced: run the deterministic cycle-mode reference on the
+        # same collection/configuration and attach the divergence metrics
+        # (see repro.analysis.envelope) to the cost summary.
+        reference = run_chiaroscuro(
+            collection,
+            config.with_overrides(runtime={"mode": "cycle"}),
+            normalize=normalize,
+            n_tracked_participants=n_tracked_participants,
+            max_extra_cycles=max_extra_cycles,
+        )
+        result.costs = replace(
+            result.costs, envelope=nondeterminism_envelope(result, reference)
+        )
+    return result

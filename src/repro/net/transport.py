@@ -21,6 +21,13 @@ sending side (``Network.account_send``); ``messages_received``/
 In the cycle simulation both sides live in one process; in the live runner
 each side runs on the worker hosting that node, so per-node counters are
 owned by exactly one process and aggregate without double counting.
+
+The rule is stepping-independent: under the live runner's concurrent
+stepping every send is still charged synchronously at its sending node, so
+totals and per-node counters stay exact.  What concurrency relaxes is only
+the *per-iteration* attribution of a worker's process-global crypto-counter
+deltas (several interleaved steps share one counter), which becomes
+approximate while its sum over iterations remains exact.
 """
 
 from __future__ import annotations

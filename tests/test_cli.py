@@ -56,6 +56,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--engine", "warp"])
 
+    def test_stepping_flags(self):
+        args = build_parser().parse_args([
+            "run", "--live", "--stepping", "concurrent",
+            "--live-concurrency", "4", "--envelope", "off",
+        ])
+        assert args.stepping == "concurrent"
+        assert args.live_concurrency == 4
+        assert args.envelope == "off"
+        defaults = build_parser().parse_args(["run"])
+        assert defaults.stepping == "sequential"
+        assert defaults.live_concurrency == 8
+        assert defaults.envelope == "auto"
+
+    def test_unknown_stepping_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--stepping", "barrier-free"])
+
 
 class TestCommands:
     def test_run_command_json(self, capsys):
@@ -201,6 +218,26 @@ class TestExperimentCommands:
         assert exit_code == 0
         assert out_file.exists()
         assert "| privacy.epsilon |" in out_file.read_text(encoding="utf-8")
+
+    def test_experiment_report_joins_multiple_stores(self, spec_file, tmp_path,
+                                                     capsys):
+        """``--store A --store B`` aligns the two sweeps' cells into one
+        cross-store comparison table."""
+        store_a = str(tmp_path / "left.jsonl")
+        store_b = str(tmp_path / "right.jsonl")
+        main(["experiment", "run", "--spec", spec_file, "--store", store_a,
+              "--quiet"])
+        main(["experiment", "run", "--spec", spec_file, "--store", store_b,
+              "--quiet"])
+        capsys.readouterr()
+        exit_code = main([
+            "experiment", "report", "--spec", spec_file,
+            "--store", store_a, "--store", store_b,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cross-store" in output
+        assert "stores: left, right" in output
 
     def test_missing_spec_is_a_cli_error(self, tmp_path, capsys):
         exit_code = main([

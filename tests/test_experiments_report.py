@@ -157,6 +157,45 @@ class TestFormatReport:
         assert "no completed cells" in report
 
 
+class TestCrossStoreReport:
+    def test_rows_interleave_scenario_major(self, executed):
+        from repro.experiments import cross_store_rows
+
+        spec, store = executed
+        rows = cross_store_rows(spec, [("left", store), ("right", store)])
+        # Two scenarios x two sources, the rows being diffed adjacent.
+        assert [row["store"] for row in rows] == ["left", "right"] * 2
+        assert [row["scenario"] for row in rows] == [0, 0, 1, 1]
+        # Same store under both labels ⇒ the aligned cells agree exactly.
+        assert rows[0]["inertia"] == rows[1]["inertia"]
+        assert rows[0]["privacy.epsilon"] == rows[1]["privacy.epsilon"] == 2.0
+
+    def test_missing_cells_in_one_store_are_skipped(self, executed):
+        from repro.experiments import cross_store_rows
+
+        spec, store = executed
+        empty = ResultStore("/nonexistent/never.jsonl")
+        rows = cross_store_rows(spec, [("full", store), ("empty", empty)])
+        assert [row["store"] for row in rows] == ["full", "full"]
+
+    def test_format_cross_report_renders_both_sources(self, executed):
+        from repro.experiments import format_cross_report
+
+        spec, store = executed
+        report = format_cross_report(spec, [("a", store), ("b", store)])
+        assert "experiment: report-unit (cross-store)" in report
+        assert "stores: a, b" in report
+        assert "cross-store scenario comparison" in report
+
+    def test_empty_sources_report_gracefully(self, executed):
+        from repro.experiments import format_cross_report
+
+        spec, _ = executed
+        empty = ResultStore("/nonexistent/never.jsonl")
+        report = format_cross_report(spec, [("a", empty)])
+        assert "no completed cells" in report
+
+
 class TestMarkdownTable:
     def test_rows_render_as_pipes(self):
         text = format_markdown_table(

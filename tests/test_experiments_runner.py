@@ -201,6 +201,79 @@ class TestFailures:
         assert "timeout" in row["error"]
 
 
+class TestLivePortSlots:
+    """Concurrent live cells with fixed ports must not collide on the bind.
+
+    Each scheduler slot shifts the cell's port block by
+    ``slot * (processes + 1)``; slot 0 and every non-live or ephemeral-port
+    cell pass through untouched, so single-job sweeps are unchanged.
+    """
+
+    def _live_config(self, base_port: int, processes: int = 2):
+        return ChiaroscuroConfig().with_overrides(
+            crypto={"backend": "plain", "threshold": 2, "n_key_shares": 3},
+            runtime={"mode": "live", "processes": processes,
+                     "base_port": base_port},
+        )
+
+    def test_cycle_and_slot_zero_pass_through(self):
+        from repro.experiments.runner import _cell_runtime_ports
+
+        cycle = ChiaroscuroConfig()
+        assert _cell_runtime_ports(cycle, 3) is cycle
+        live = self._live_config(base_port=43210)
+        assert _cell_runtime_ports(live, 0) is live
+        ephemeral = self._live_config(base_port=0)
+        assert _cell_runtime_ports(ephemeral, 3) is ephemeral
+
+    def test_slots_get_disjoint_port_blocks(self):
+        from repro.experiments.runner import _cell_runtime_ports
+
+        live = self._live_config(base_port=43210, processes=2)
+        shifted_1 = _cell_runtime_ports(live, 1)
+        shifted_2 = _cell_runtime_ports(live, 2)
+        # A cell binds base_port .. base_port + processes: blocks of
+        # (processes + 1) ports, disjoint across slots.
+        assert shifted_1.runtime.base_port == 43210 + 3
+        assert shifted_2.runtime.base_port == 43210 + 6
+
+    def test_port_range_overflow_falls_back_to_ephemeral(self):
+        from repro.experiments.runner import _cell_runtime_ports
+
+        live = self._live_config(base_port=65530, processes=2)
+        # Slot 1 still fits (top of the block is exactly 65535)...
+        assert _cell_runtime_ports(live, 1).runtime.base_port == 65533
+        # ...slot 2 would run past the range, so it goes ephemeral instead.
+        assert _cell_runtime_ports(live, 2).runtime.base_port == 0
+
+    def test_parallel_live_cells_share_a_fixed_base_port(self, tmp_path):
+        """The collision regression: two live cells in flight at once with
+        the same nonzero ``base_port`` used to race for the same sockets."""
+        spec = _spec(
+            participants=8,
+            base={
+                "kmeans": {"n_clusters": 2, "max_iterations": 2},
+                "privacy": {"epsilon": 2.0, "noise_shares": 4},
+                "gossip": {"cycles_per_aggregation": 3},
+                "crypto": {"backend": "plain", "threshold": 2,
+                           "n_key_shares": 3},
+                "runtime": {"mode": "live", "processes": 2,
+                            "base_port": 44100, "run_timeout": 120.0},
+            },
+            sweep={"privacy.epsilon": [2.0, 4.0]},
+            repeats=1,
+        )
+        store = ResultStore(tmp_path / "live.jsonl")
+        progress = run_experiment(spec, store, jobs=2)
+        assert progress.executed == 2
+        assert progress.failed == 0
+        rows = store.rows()
+        assert all(row["status"] == "ok" for row in rows)
+        # The slot shift is applied inside the worker, after keying: the
+        # stored cell keys are exactly the spec's (resume-compatible).
+        assert [row["key"] for row in rows] == spec.cell_keys()
+
+
 class TestQualityMetrics:
     def test_label_metrics_survive_without_the_reference(self, tmp_path):
         """metrics.reference and metrics.label_key are independent: disabling

@@ -106,6 +106,29 @@ class TestSampledCrypto:
         assert np.array_equal(three.assignments, sampled.assignments)
 
 
+class TestLabelAgreementStream:
+    def test_every_iteration_records_label_agreement(self, collection):
+        """The bulk slab log carries the reference-free convergence signal:
+        the fraction of nodes whose cluster label survived from the
+        previous iteration, 1.0 by convention on the first.  (At sampling
+        fraction 1.0 the slab engine delegates to the object engine, so
+        the stream belongs to the sampled bulk path.)"""
+        result = run_chiaroscuro(
+            collection, make_config(60, crypto_sample_fraction=0.25)
+        )
+        series = [record.costs["label_agreement"] for record in result.log]
+        assert len(series) == result.n_iterations
+        assert series[0] == 1.0
+        assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_agreement_flows_into_iteration_costs(self, collection):
+        result = run_chiaroscuro(
+            collection, make_config(60, crypto_sample_fraction=0.25)
+        )
+        for entry in result.costs.iteration_costs:
+            assert "label_agreement" in entry
+
+
 class TestModelledFallback:
     def test_zero_fraction_uses_workload_model(self, collection):
         result = run_chiaroscuro(

@@ -1,0 +1,207 @@
+"""On-socket savings of batched & compressed wire records in the live runner.
+
+The live runner's decrypt rounds send the *same* request frame to every
+committee helper; with ``network.batching`` the helpers hosted on one
+worker share a single :class:`~repro.gossip.messages.BatchEnvelope` socket
+record, and ``network.compression`` additionally zlib-compresses the
+batched section (identical frames compress almost to one).  Protocol byte
+accounting is untouched by design — a batched run charges exactly the
+per-recipient frame bytes an unbatched run charges — so the win shows up
+only where it physically happens: the runner-level socket statistics.
+
+This benchmark runs the same seeded live scenario three ways (unbatched,
+batched, batched+zlib), checks the clustering results and protocol
+accounting are identical, and reports on-socket bytes per gossip exchange
+for each mode.  Run as a script, it writes ``BENCH_wire_batching.json``::
+
+    PYTHONPATH=src python benchmarks/bench_wire_batching.py \
+        --assert-reduction 1.0 --out BENCH_wire_batching.json
+
+Each measurement runs in a forked subprocess so one run's worker processes
+and sockets cannot leak into the next.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+
+from conftest import run_once
+
+from repro.analysis import format_table
+
+#: The smoke scenario every row runs: 2 workers and a 3-helper committee,
+#: so every decrypt round from the second worker's nodes batches 3 frames.
+SCENARIO = {
+    "participants": 20,
+    "clusters": 2,
+    "iterations": 3,
+    "gossip_cycles": 4,
+    "noise_shares": 8,
+    "threshold": 3,
+    "n_key_shares": 6,
+    "processes": 2,
+    "seed": 0,
+}
+
+
+def _live_probe(connection, batching: bool, compression: bool,
+                scenario: dict) -> None:
+    """Subprocess body: one live run, socket + protocol byte counters."""
+    from repro.config import ChiaroscuroConfig
+    from repro.core.runner import run_chiaroscuro
+    from repro.datasets import load_dataset_for_population
+
+    try:
+        collection = load_dataset_for_population(
+            "gaussian", scenario["participants"], scenario["seed"],
+            n_clusters=scenario["clusters"], noise_std=0.05,
+        )
+        config = ChiaroscuroConfig().with_overrides(
+            simulation={"n_participants": scenario["participants"],
+                        "seed": scenario["seed"]},
+            kmeans={"n_clusters": scenario["clusters"],
+                    "max_iterations": scenario["iterations"]},
+            privacy={"epsilon": 2.0, "noise_shares": scenario["noise_shares"]},
+            gossip={"cycles_per_aggregation": scenario["gossip_cycles"]},
+            crypto={"threshold": scenario["threshold"],
+                    "n_key_shares": scenario["n_key_shares"]},
+            network={"batching": batching, "compression": compression},
+            runtime={"mode": "live", "processes": scenario["processes"],
+                     "run_timeout": 240.0},
+        )
+        result = run_chiaroscuro(collection, config)
+        socket = result.metadata["live"]["socket"]
+        exchanges = result.costs.messages_sent / 2.0
+        connection.send({
+            "mode": ("batched+zlib" if compression
+                     else "batched" if batching else "unbatched"),
+            "socket_bytes_sent": socket["bytes_sent"],
+            "socket_records_sent": socket["records_sent"],
+            "batched_records": socket["batched_records"],
+            "batched_frames": socket["batched_frames"],
+            "socket_bytes_per_exchange": socket["bytes_sent"] / max(exchanges, 1e-9),
+            "exchanges": exchanges,
+            "protocol_bytes_sent": result.costs.bytes_sent,
+            "protocol_messages_sent": result.costs.messages_sent,
+            "inertia": result.inertia,
+            "n_iterations": result.n_iterations,
+        })
+    except Exception as error:  # pragma: no cover - surfaced by the parent
+        connection.send({"error": f"{type(error).__name__}: {error}"})
+    finally:
+        connection.close()
+
+
+def measure_live(batching: bool, compression: bool,
+                 scenario: dict | None = None) -> dict:
+    """One live run in a forked subprocess (isolated workers/sockets)."""
+    context = multiprocessing.get_context("fork")
+    parent, child = context.Pipe()
+    worker = context.Process(
+        target=_live_probe,
+        args=(child, batching, compression, scenario or dict(SCENARIO)),
+    )
+    worker.start()
+    child.close()
+    payload = parent.recv()
+    worker.join()
+    parent.close()
+    if "error" in payload:
+        raise RuntimeError(
+            f"live run (batching={batching}, compression={compression}) "
+            f"failed: {payload['error']}"
+        )
+    return payload
+
+
+def measure_modes(scenario: dict | None = None) -> list[dict]:
+    """Unbatched vs batched vs batched+zlib rows on the same seeded scenario.
+
+    Verifies the equal-quality / equal-accounting contract before reporting
+    the socket-byte comparison, and attaches ``socket_reduction`` — the
+    unbatched on-socket bytes divided by this row's — to the batched rows.
+    """
+    unbatched = measure_live(batching=False, compression=False, scenario=scenario)
+    batched = measure_live(batching=True, compression=False, scenario=scenario)
+    compressed = measure_live(batching=True, compression=True, scenario=scenario)
+    for row in (batched, compressed):
+        if (row["inertia"] != unbatched["inertia"]
+                or row["n_iterations"] != unbatched["n_iterations"]):
+            raise RuntimeError(f"batched run changed the results: {row}")
+        if (row["protocol_bytes_sent"] != unbatched["protocol_bytes_sent"]
+                or row["protocol_messages_sent"]
+                != unbatched["protocol_messages_sent"]):
+            raise RuntimeError(f"batched run changed the accounting: {row}")
+        row["socket_reduction"] = (
+            unbatched["socket_bytes_sent"] / max(row["socket_bytes_sent"], 1e-9)
+        )
+    unbatched["socket_reduction"] = 1.0
+    return [unbatched, batched, compressed]
+
+
+def test_batching_reduces_online_socket_bytes(benchmark):
+    """The CI bench-smoke gate: batched+compressed must move strictly fewer
+    on-socket bytes per gossip exchange than the unbatched runner, at
+    bit-identical clustering results and protocol accounting (checked
+    inside :func:`measure_modes`)."""
+    rows = run_once(benchmark, measure_modes)
+    print()
+    print(format_table(
+        rows,
+        columns=["mode", "socket_bytes_sent", "batched_records",
+                 "socket_bytes_per_exchange", "socket_reduction"],
+        title="on-socket bytes: unbatched vs batched vs batched+zlib",
+    ))
+    unbatched, batched, compressed = rows
+    assert batched["batched_records"] > 0
+    assert batched["socket_bytes_per_exchange"] \
+        < unbatched["socket_bytes_per_exchange"], rows
+    assert compressed["socket_bytes_per_exchange"] \
+        < batched["socket_bytes_per_exchange"], rows
+
+
+def main(argv=None) -> int:
+    """Write the BENCH_wire_batching.json comparison datapoints."""
+    parser = argparse.ArgumentParser(
+        description="Measure on-socket bytes of the live runner with wire "
+                    "batching/compression and write BENCH_wire_batching.json"
+    )
+    parser.add_argument("--assert-reduction", type=float, default=None,
+                        help="fail unless batched+zlib moves this many times "
+                             "fewer on-socket bytes than unbatched")
+    parser.add_argument("--out", default="BENCH_wire_batching.json")
+    args = parser.parse_args(argv)
+    rows = measure_modes()
+    payload = {
+        "benchmark": "wire_batching",
+        "scenario": dict(SCENARIO),
+        "rows": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(format_table(
+        rows,
+        columns=["mode", "socket_bytes_sent", "socket_records_sent",
+                 "batched_records", "batched_frames",
+                 "socket_bytes_per_exchange", "socket_reduction"],
+        title=f"wire batching on-socket savings (written to {args.out})",
+    ))
+    if args.assert_reduction is not None:
+        compressed = rows[-1]
+        if compressed["socket_reduction"] < args.assert_reduction:
+            print(f"FAIL: batched+zlib reduction "
+                  f"{compressed['socket_reduction']:.3f}x below "
+                  f"{args.assert_reduction}x")
+            return 1
+        print(f"batched+zlib moves {compressed['socket_reduction']:.3f}x "
+              f"fewer on-socket bytes than unbatched")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

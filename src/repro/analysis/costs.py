@@ -16,8 +16,10 @@ times)" (Section III.B).  This module reproduces that methodology:
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -130,28 +132,91 @@ class CryptoCostProfile:
             pooled_encryption_seconds=pooled if fastmath != "off" else 0.0,
         )
 
+    @property
+    def _pooled_cost(self) -> float:
+        """Hot-path cost of one pool-served operation (fresh cost sans pool)."""
+        return (
+            self.pooled_encryption_seconds
+            if self.pooled_encryption_seconds > 0
+            else self.encryption_seconds
+        )
+
     def seconds_for_counts(self, counts: Mapping[str, float]) -> float:
-        """Compute seconds implied by an operation-count dictionary.
+        """*Online* (hot-path) seconds implied by an operation-count dictionary.
 
         *counts* uses the :class:`~repro.crypto.backends.OperationCounter`
         key vocabulary (``encryptions``, ``additions``,
         ``partial_decryptions``, ``combinations``, ``pooled_encryptions``,
         ``rerandomizations``); unknown keys are ignored.  Pooled encryptions
-        are charged the amortized hot-path cost when the profile has one.
+        — and rerandomizations, which draw a blinder from the same pool and
+        are a single multiplication on the hot path — are charged the
+        amortized pooled cost when the profile has one; the blinder
+        exponentiations they consumed belong to the *offline* phase
+        (:meth:`offline_seconds_for_counts`).
         """
-        pooled_cost = (
-            self.pooled_encryption_seconds
-            if self.pooled_encryption_seconds > 0
-            else self.encryption_seconds
-        )
+        pooled_cost = self._pooled_cost
         return (
             float(counts.get("encryptions", 0)) * self.encryption_seconds
             + float(counts.get("pooled_encryptions", 0)) * pooled_cost
-            + float(counts.get("rerandomizations", 0)) * self.encryption_seconds
+            + float(counts.get("rerandomizations", 0)) * pooled_cost
             + float(counts.get("additions", 0)) * self.addition_seconds
             + float(counts.get("partial_decryptions", 0)) * self.partial_decryption_seconds
             + float(counts.get("combinations", 0)) * self.combination_seconds
         )
+
+    def offline_seconds_for_counts(self, counts: Mapping[str, float]) -> float:
+        """*Offline* (input-independent precomputation) seconds for *counts*.
+
+        Every pool-served operation — pooled encryptions and pool-backed
+        rerandomizations — consumed one precomputed blinder, i.e. one full
+        exponentiation executed off the hot path.  Without a pool
+        (``pooled_encryption_seconds == 0``) nothing was precomputed and the
+        offline phase is empty: the full exponentiations are already charged
+        online by :meth:`seconds_for_counts`.
+        """
+        if self.pooled_encryption_seconds <= 0:
+            return 0.0
+        served = (
+            float(counts.get("pooled_encryptions", 0))
+            + float(counts.get("rerandomizations", 0))
+        )
+        return served * self.encryption_seconds
+
+    def phase_seconds_for_counts(
+        self, counts: Mapping[str, float]
+    ) -> dict[str, float]:
+        """Offline/online/total second split for *counts* (keys sum exactly)."""
+        offline = self.offline_seconds_for_counts(counts)
+        online = self.seconds_for_counts(counts)
+        return {
+            "offline_seconds": offline,
+            "online_seconds": online,
+            "total_seconds": offline + online,
+        }
+
+
+def load_reference_profile(fastmath: str = "off") -> CryptoCostProfile | None:
+    """Load the committed crypto benchmark profile, when one is available.
+
+    Looks for ``BENCH_crypto.json`` in the working directory and at the
+    repository root; returns ``None`` (callers then omit the seconds
+    metrics or fall back to pure operation counts) when neither exists or
+    the payload is malformed.  *fastmath* selects the timing column, so the
+    profile prices operations the way the run actually executed them.
+    """
+    candidates = [
+        Path.cwd() / "BENCH_crypto.json",
+        Path(__file__).resolve().parents[3] / "BENCH_crypto.json",
+    ]
+    for candidate in candidates:
+        if not candidate.is_file():
+            continue
+        try:
+            payload = json.loads(candidate.read_text(encoding="utf-8"))
+            return CryptoCostProfile.from_bench_json(payload, fastmath=fastmath)
+        except Exception:
+            return None
+    return None
 
 
 def measure_crypto_costs(

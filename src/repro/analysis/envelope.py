@@ -50,27 +50,43 @@ def align_profiles(profiles: np.ndarray, reference: np.ndarray) -> np.ndarray:
     order of ascending best-match distance, each claiming one distinct row
     of ``profiles``.  Returns an integer array ``perm`` of length ``k``
     with ``profiles[perm[j]]`` the match of ``reference[j]``.
+
+    A cluster that ended a run empty can carry a NaN profile row; NaN
+    distances would make ``argmin`` pick arbitrary matches and silently
+    corrupt the downstream churn metric, so only real (NaN-free) rows
+    compete in the greedy matching.  NaN rows — and any real rows starved
+    by them — then pair up in index order, keeping the result a full
+    permutation.
     """
     k = reference.shape[0]
     if profiles.shape != reference.shape:
         raise ValueError(
             f"profile shapes differ: {profiles.shape} vs {reference.shape}"
         )
+    reference_real = ~np.isnan(reference).any(axis=1)
+    candidate_real = ~np.isnan(profiles).any(axis=1)
     distances = np.linalg.norm(
         reference[:, None, :] - profiles[None, :, :], axis=2
     )
+    # Pairs touching a NaN row never compete for a greedy match.
+    working = np.where(
+        reference_real[:, None] & candidate_real[None, :], distances, np.inf
+    )
     perm = np.full(k, -1, dtype=np.int64)
-    taken = np.zeros(k, dtype=bool)
     # Greedy: repeatedly take the globally closest (reference, candidate)
-    # pair among unmatched rows.  k is small (number of clusters), so the
-    # O(k^3) loop is irrelevant.
-    working = distances.copy()
-    for _ in range(k):
+    # pair among unmatched real rows.  k is small (number of clusters), so
+    # the O(k^3) loop is irrelevant.
+    for _ in range(int(min(reference_real.sum(), candidate_real.sum()))):
         j, i = np.unravel_index(np.argmin(working), working.shape)
+        if not np.isfinite(working[j, i]):
+            break
         perm[j] = i
         working[j, :] = np.inf
         working[:, i] = np.inf
-        taken[i] = True
+    unmatched = np.nonzero(perm < 0)[0]
+    if unmatched.shape[0]:
+        unclaimed = np.setdiff1d(np.arange(k), perm[perm >= 0])
+        perm[unmatched] = unclaimed
     return perm
 
 

@@ -78,9 +78,10 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
         gossip={"cycles_per_aggregation": args.gossip_cycles},
         smoothing={"method": args.smoothing},
         crypto={"backend": args.backend, "packing": normalize_packing(args.packing),
-                "fastmath": args.fastmath},
+                "fastmath": args.fastmath, "pool_file": args.pool_file},
         simulation={"n_participants": args.participants, "seed": args.seed},
-        network={"wire": args.wire, "corruption_rate": args.corruption_rate},
+        network={"wire": args.wire, "corruption_rate": args.corruption_rate,
+                 "batching": args.batching, "compression": args.compression},
         runtime={
             "mode": "live" if args.live else "cycle",
             "processes": args.processes,
@@ -127,6 +128,16 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--corruption-rate", type=float, default=0.0,
                         help="probability that a delivered wire frame has one bit "
                              "flipped in transit (requires --wire auto)")
+    parser.add_argument("--batching", action="store_true",
+                        help="pack same-destination wire frames into one batched "
+                             "socket record (live runner; protocol accounting is "
+                             "unchanged, only on-socket bytes shrink)")
+    parser.add_argument("--compression", action="store_true",
+                        help="zlib-compress batched records (requires --batching)")
+    parser.add_argument("--pool-file", default="",
+                        help="persisted precomputation pool file: consumed on "
+                             "startup if present, refreshed with a new offline "
+                             "batch for the next run (damgard_jurik + fastmath)")
     parser.add_argument("--live", action="store_true",
                         help="run over real TCP sockets between worker processes "
                              "(the live runner) instead of the in-process cycle "

@@ -192,6 +192,14 @@ class CryptoConfig:
         multi-exponentiation in the real backends — the same integers,
         several times faster; ``"off"`` reproduces the seed arithmetic bit
         for bit given the same randomness stream.
+    pool_file:
+        Path of a persisted precomputation pool file (empty disables).
+        When set (and fastmath is on), a run absorbs the file's blinders
+        before its online phase — deleting the file, so no two runs ever
+        share a blinder — and writes a fresh batch for the next run.  See
+        :class:`~repro.crypto.precompute.PrecomputationService`.  Loaded
+        blinders bypass this process's randomness stream, so pooled runs
+        with a pool file are no longer bit-identical to unpooled ones.
     """
 
     backend: str = "plain"
@@ -202,6 +210,7 @@ class CryptoConfig:
     encoding_scale: int = 10**6
     packing: int | str = "auto"
     fastmath: str = "auto"
+    pool_file: str = ""
 
     def __post_init__(self) -> None:
         check_in_choices(self.backend, CRYPTO_BACKENDS, "backend")
@@ -221,6 +230,10 @@ class CryptoConfig:
             normalize_fastmath(self.fastmath)
         except ValidationError as exc:
             raise ConfigurationError(str(exc)) from exc
+        if not isinstance(self.pool_file, str):
+            raise ConfigurationError(
+                f"pool_file must be a path string, got {self.pool_file!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -285,10 +298,23 @@ class NetworkConfig:
         :class:`~repro.exceptions.WireFormatError` in the decoder and are
         treated as losses by the protocol.  Only meaningful with
         ``wire="auto"``; must be 0 when the wire format is off.
+    batching:
+        Pack several wire frames per socket record where the protocol
+        allows it (currently the live runner's committee-decryption
+        fan-out, via :class:`~repro.gossip.messages.BatchEnvelope`).
+        Default ``False`` keeps every record byte-identical to the
+        unbatched runner.  Batching changes only the on-socket encoding:
+        protocol-level byte accounting, results and per-helper operation
+        counts are unchanged.  Requires the wire format.
+    compression:
+        zlib-compress batched records when that actually shrinks them.
+        Requires ``batching``; default ``False``.
     """
 
     wire: str = "auto"
     corruption_rate: float = 0.0
+    batching: bool = False
+    compression: bool = False
 
     def __post_init__(self) -> None:
         try:
@@ -299,6 +325,15 @@ class NetworkConfig:
         if self.wire == "off" and self.corruption_rate > 0:
             raise ConfigurationError(
                 "corruption_rate requires the wire format (set network.wire='auto')"
+            )
+        if self.batching and self.wire == "off":
+            raise ConfigurationError(
+                "batching packs wire frames and requires the wire format "
+                "(set network.wire='auto')"
+            )
+        if self.compression and not self.batching:
+            raise ConfigurationError(
+                "compression applies to batched records (set network.batching=True)"
             )
 
 

@@ -45,6 +45,15 @@ class CostSummary:
     this run's divergence from the deterministic cycle-mode reference —
     profile distance, assignment churn and byte spread — quantifying the
     speed/determinism trade-off the concurrent scheduler makes.
+
+    ``offline_seconds`` / ``online_seconds`` split the run's modelled crypto
+    compute between the input-independent precomputation phase (blinder
+    exponentiations filling the pools) and the hot path (pooled multiplies,
+    homomorphic additions, decryptions), priced from the committed
+    ``BENCH_crypto.json`` profile; the two always sum to the total modelled
+    seconds.  ``phase_ops`` carries the per-phase operation counts behind
+    the split.  All three stay ``None`` (keys absent from :meth:`as_dict`)
+    when no benchmark profile was available.
     """
 
     n_participants: int
@@ -60,6 +69,9 @@ class CostSummary:
     iteration_costs: tuple[Mapping[str, float], ...] = ()
     extrapolated: Mapping[str, Any] | None = None
     envelope: Mapping[str, Any] | None = None
+    offline_seconds: float | None = None
+    online_seconds: float | None = None
+    phase_ops: Mapping[str, Any] | None = None
 
     @property
     def messages_per_participant(self) -> float:
@@ -132,6 +144,17 @@ class CostSummary:
             view["extrapolated"] = dict(self.extrapolated)
         if self.envelope is not None:
             view["envelope"] = dict(self.envelope)
+        # The phase split needs the committed benchmark profile; keys are
+        # absent (not zero) when none was found, for the same reason.
+        if self.offline_seconds is not None:
+            view["offline_seconds"] = float(self.offline_seconds)
+        if self.online_seconds is not None:
+            view["online_seconds"] = float(self.online_seconds)
+        if self.phase_ops is not None:
+            view["phase_ops"] = {
+                phase: {key: float(value) for key, value in ops.items()}
+                for phase, ops in self.phase_ops.items()
+            }
         return view
 
 

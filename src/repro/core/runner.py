@@ -235,7 +235,10 @@ def build_run_setup(
             slots=backend.packing.slots if backend.packing is not None else 1,
             amortized_encryptions=True,
         )
-        backend.configure_pool(demand.encryptions_per_iteration)
+        backend.configure_pool(
+            demand.encryptions_per_iteration,
+            pool_file=config.crypto.pool_file or None,
+        )
     check_headroom(
         backend,
         value_bound=max(value_bound, 1.0),
@@ -343,6 +346,31 @@ def assemble_result(
         n_participants=setup.n_participants,
     )
     wire_info = setup.wire_info()
+    # Phase-tagged compute accounting: price the full operation counter
+    # (pooled encryptions and rerandomizations included) with the committed
+    # benchmark profile, splitting input-independent blinder precomputation
+    # (offline) from the hot path (online).  Deferred import: repro.analysis
+    # imports this module back for the quality comparisons.
+    from ..analysis.costs import load_reference_profile
+
+    profile = load_reference_profile(fastmath=setup.config.crypto.fastmath)
+    offline_seconds: float | None = None
+    online_seconds: float | None = None
+    phase_ops: dict[str, dict[str, int]] | None = None
+    if profile is not None:
+        phases = profile.phase_seconds_for_counts(crypto_counts)
+        offline_seconds = phases["offline_seconds"]
+        online_seconds = phases["online_seconds"]
+        served = (
+            int(crypto_counts.get("pooled_encryptions", 0))
+            + int(crypto_counts.get("rerandomizations", 0))
+            if profile.pooled_encryption_seconds > 0
+            else 0
+        )
+        phase_ops = {
+            "offline": {"blinder_exponentiations": served},
+            "online": {str(key): int(value) for key, value in crypto_counts.items()},
+        }
     costs = CostSummary(
         n_participants=setup.n_participants,
         n_iterations=n_iterations,
@@ -358,6 +386,9 @@ def assemble_result(
             {str(key): float(value) for key, value in record.costs.items()}
             for record in log
         ),
+        offline_seconds=offline_seconds,
+        online_seconds=online_seconds,
+        phase_ops=phase_ops,
     )
     per_participant_profiles = {
         outcome.node_id: outcome.profiles.copy() for outcome in ordered

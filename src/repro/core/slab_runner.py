@@ -26,9 +26,7 @@ Three regimes, selected by ``runtime.crypto_sample_fraction``:
 
 from __future__ import annotations
 
-import json
 from dataclasses import replace
-from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -77,32 +75,21 @@ EXTRAPOLATED_METRICS = (
     "messages_sent",
     "bytes_sent",
     "crypto_seconds",
+    "offline_seconds",
+    "online_seconds",
 )
 
 
 def load_reference_profile(config: ChiaroscuroConfig) -> CryptoCostProfile | None:
     """Load the committed crypto benchmark profile, when one is available.
 
-    Looks for ``BENCH_crypto.json`` in the working directory and at the
-    repository root; returns ``None`` (the extrapolator then omits the
-    seconds metric or falls back to pure operation counts) when neither
-    exists or the payload is malformed.
+    Delegates to :func:`repro.analysis.costs.load_reference_profile` (the
+    shared implementation both execution modes use for phase-tagged cost
+    accounting), selecting the timing column from the run's fastmath mode.
     """
-    candidates = [
-        Path.cwd() / "BENCH_crypto.json",
-        Path(__file__).resolve().parents[3] / "BENCH_crypto.json",
-    ]
-    for candidate in candidates:
-        if not candidate.is_file():
-            continue
-        try:
-            payload = json.loads(candidate.read_text(encoding="utf-8"))
-            return CryptoCostProfile.from_bench_json(
-                payload, fastmath=config.crypto.fastmath
-            )
-        except Exception:
-            return None
-    return None
+    from ..analysis.costs import load_reference_profile as _load
+
+    return _load(fastmath=config.crypto.fastmath)
 
 
 def _sample_size(config: ChiaroscuroConfig, population: int) -> int:
@@ -249,7 +236,14 @@ def _run_crypto_sample(
 def _per_node_seconds(
     per_node_ops: dict[str, np.ndarray], profile: CryptoCostProfile
 ) -> np.ndarray:
-    """Per-node crypto seconds implied by per-node operation counts."""
+    """Per-node *online* crypto seconds implied by per-node operation counts.
+
+    Pool-served operations — pooled encryptions and rerandomizations, which
+    draw a precomputed blinder and are a single multiplication on the hot
+    path — are charged the amortized pooled cost; the blinder
+    exponentiations they consumed are offline work
+    (:func:`_per_node_offline_seconds`).
+    """
     pooled_cost = (
         profile.pooled_encryption_seconds
         if profile.pooled_encryption_seconds > 0
@@ -258,7 +252,7 @@ def _per_node_seconds(
     weights = {
         "encryptions": profile.encryption_seconds,
         "pooled_encryptions": pooled_cost,
-        "rerandomizations": profile.encryption_seconds,
+        "rerandomizations": pooled_cost,
         "additions": profile.addition_seconds,
         "partial_decryptions": profile.partial_decryption_seconds,
         "combinations": profile.combination_seconds,
@@ -268,6 +262,20 @@ def _per_node_seconds(
         if key in per_node_ops:
             seconds += per_node_ops[key] * weight
     return seconds
+
+
+def _per_node_offline_seconds(
+    per_node_ops: dict[str, np.ndarray], profile: CryptoCostProfile
+) -> np.ndarray:
+    """Per-node *offline* (precomputed blinder) seconds for operation counts."""
+    shape = next(iter(per_node_ops.values())).shape[0]
+    if profile.pooled_encryption_seconds <= 0:
+        return np.zeros(shape)
+    served = np.zeros(shape)
+    for key in ("pooled_encryptions", "rerandomizations"):
+        if key in per_node_ops:
+            served = served + per_node_ops[key]
+    return served * profile.encryption_seconds
 
 
 def _workload_extrapolation(
@@ -296,7 +304,18 @@ def _workload_extrapolation(
     exact("bytes_sent", workload.wire_bytes_per_iteration(ciphertext_bytes) * iterations)
     if profile is not None:
         estimate = CostModel(profile).estimate(workload)
-        exact("crypto_seconds", estimate.total_compute_seconds)
+        offline = 0.0
+        if workload.amortized_encryptions and profile.pooled_encryption_seconds > 0:
+            # Each amortized encryption consumed one blinder exponentiation
+            # precomputed off the hot path.
+            offline = (
+                workload.encryptions_per_iteration
+                * iterations
+                * profile.encryption_seconds
+            )
+        exact("online_seconds", estimate.total_compute_seconds)
+        exact("offline_seconds", offline)
+        exact("crypto_seconds", estimate.total_compute_seconds + offline)
     return ExtrapolatedCost(
         population=population,
         sample_size=0,
@@ -394,14 +413,24 @@ def _run_full_measured(
         "bytes_sent": float(costs.bytes_sent),
     }
     if profile is not None:
-        measured["crypto_seconds"] = profile.seconds_for_counts(
-            {
-                "encryptions": costs.encryptions,
-                "additions": costs.homomorphic_additions,
-                "partial_decryptions": costs.partial_decryptions,
-                "combinations": costs.combinations,
-            }
-        )
+        # assemble_result attaches the phase split from the full operation
+        # counter (pooled encryptions and rerandomizations included); fall
+        # back to the four summary counts when it could not.
+        online = costs.online_seconds
+        offline = costs.offline_seconds if costs.offline_seconds is not None else 0.0
+        if online is None:
+            online = profile.seconds_for_counts(
+                {
+                    "encryptions": costs.encryptions,
+                    "additions": costs.homomorphic_additions,
+                    "partial_decryptions": costs.partial_decryptions,
+                    "combinations": costs.combinations,
+                }
+            )
+            offline = 0.0
+        measured["online_seconds"] = float(online)
+        measured["offline_seconds"] = float(offline)
+        measured["crypto_seconds"] = float(online) + float(offline)
     extrapolated = ExtrapolatedCost(
         population=costs.n_participants,
         sample_size=costs.n_participants,
@@ -633,7 +662,11 @@ def _run_sampled(
             "bytes_sent": sample["per_node_bytes"] * factor,
         }
         if profile is not None:
-            metrics["crypto_seconds"] = _per_node_seconds(ops, profile) * factor
+            online = _per_node_seconds(ops, profile) * factor
+            offline = _per_node_offline_seconds(ops, profile) * factor
+            metrics["online_seconds"] = online
+            metrics["offline_seconds"] = offline
+            metrics["crypto_seconds"] = online + offline
         extrapolated = bootstrap_extrapolate(
             metrics,
             population=population,

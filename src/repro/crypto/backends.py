@@ -548,6 +548,7 @@ class DamgardJurikBackend(CipherBackend):
         self.fastmath = normalize_fastmath(fastmath)
         self._precomputed: PrecomputedKey | None = None
         self._pool: BlinderPool | None = None
+        self._service = None
         if self.fastmath_enabled:
             self._precomputed = PrecomputedKey.from_private_key(dealer_key)
             self._pool = BlinderPool(self._precomputed, batch_size=pool_batch or 32)
@@ -574,8 +575,24 @@ class DamgardJurikBackend(CipherBackend):
         except KeyError as exc:
             raise ThresholdError(f"no key share with index {index}") from exc
 
+    def precomputation_service(self):
+        """The backend's offline precomputation service (pool-sharing).
+
+        Lazily built around the backend's own blinder pool, so pooled state
+        has exactly one owner; ``None`` when fastmath is off.  See
+        :class:`~repro.crypto.precompute.PrecomputationService`.
+        """
+        if self._pool is None or self._precomputed is None:
+            return None
+        if self._service is None:
+            from .precompute import PrecomputationService
+
+            self._service = PrecomputationService(self._precomputed, pool=self._pool)
+        return self._service
+
     def configure_pool(self, expected_per_round: int,
-                       background: bool = False) -> None:
+                       background: bool = False,
+                       pool_file: str | None = None) -> None:
         """Size and prefill the blinder pool from the cost model's demand.
 
         *expected_per_round* is the number of hot-path encryptions the
@@ -584,11 +601,18 @@ class DamgardJurikBackend(CipherBackend):
         a no-op when fastmath is off.  *background* additionally starts the
         pool's refill worker thread (see
         :meth:`~repro.crypto.fastmath.BlinderPool.start_background_refill`),
-        which the live runner's workers enable after forking.
+        which the live runner's workers enable after forking.  *pool_file*
+        runs the persisted-pool protocol first: absorb-and-delete the file
+        if present, then write a fresh batch for the next run (see
+        :meth:`~repro.crypto.precompute.PrecomputationService.adopt_pool_file`).
         """
         if self._pool is None:
             return
         self._pool.batch_size = plan_pool_batch(expected_per_round)
+        if pool_file:
+            service = self.precomputation_service()
+            if service is not None:
+                service.adopt_pool_file(pool_file)
         if not len(self._pool):
             self._pool.refill()
         if background:

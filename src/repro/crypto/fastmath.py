@@ -452,6 +452,21 @@ class BlinderPool:
                 self._condition.notify_all()
             return blinder
 
+    def preload(self, blinders: Sequence[int]) -> None:
+        """Append externally precomputed blinders to the pool.
+
+        This is the persisted-pool-file path: blinders generated by an
+        earlier offline phase re-enter the pool without drawing from this
+        process's randomness stream.  Preloaded blinders therefore break
+        the exact-mode bit-identity with the unpooled path — callers only
+        use this behind the explicit ``crypto.pool_file`` opt-in.
+        """
+        with self._condition:
+            for blinder in blinders:
+                self._pool.append(int(blinder))
+            self.generated += len(blinders)
+            self._condition.notify_all()
+
     def reset(self) -> None:
         """Discard every pooled blinder (counters untouched).
 

@@ -1,0 +1,324 @@
+"""Offline precomputation service: pools, tables and persisted pool files.
+
+Chiaroscuro's crypto cost splits into two phases.  The *offline* phase is
+input-independent: blinder exponentiations ``r^{n^s} mod n^{s+1}`` that fill
+the :class:`~repro.crypto.fastmath.BlinderPool`, encryptions of zero for
+re-randomisation (in Damgård–Jurik an encryption of zero *is* a blinder:
+``(1+n)^0 · r^{n^s} = r^{n^s}``), and windowed
+:class:`~repro.crypto.fastmath.FixedBaseTable` builds for recurring bases.
+The *online* phase is the protocol hot path, where every pooled operation
+costs one bigint multiplication.
+
+:class:`PrecomputationService` generalises the pool the fastmath layer
+already ships: one object that owns the blinder pool, a separate
+encryptions-of-zero FIFO, a cache of fixed-base tables, cost-model-driven
+refill planning, and **persisted pool files** so the offline phase of one
+process can be spent before the online phase of the next even starts.
+
+Pool files are consumable, single-use artifacts:
+
+* :meth:`PrecomputationService.save` writes *freshly generated* blinders —
+  never blinders that were (or could later be) served from the in-memory
+  pool, because two processes encrypting with the same blinder produce
+  ciphertexts whose quotient reveals the plaintext difference.
+* :meth:`PrecomputationService.load` validates the format version, the key
+  fingerprint (a pool generated under a different key is useless *and*
+  unsafe to confuse) and an optional staleness bound, then **deletes the
+  file before returning** so no second process can load the same blinders.
+
+The service keeps an ``offline_seconds`` accumulator: every second spent
+generating pooled material is charged to the offline phase, which is what
+the :mod:`~repro.analysis.costs` phase split reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable
+
+from ..exceptions import CryptoError
+from .fastmath import BlinderPool, FixedBaseTable, PrecomputedKey, plan_pool_batch
+from .math_utils import random_coprime
+
+#: Version byte of the persisted pool-file format.
+POOL_FILE_VERSION = 1
+
+#: Hard cap on pooled values read back from one file (pre-allocation bound).
+_MAX_POOL_FILE_VALUES = 1 << 16
+
+
+class PoolFileError(CryptoError):
+    """A persisted pool file is unreadable, stale, or for the wrong key."""
+
+
+def key_fingerprint(precomputed: PrecomputedKey) -> str:
+    """Stable identity of the key a pool was generated under.
+
+    Covers exactly the public parameters that determine the blinder group
+    (the modulus ``n`` and the degree ``s``); two pools interoperate if and
+    only if their fingerprints match.
+    """
+    n_bytes = precomputed.n.to_bytes((precomputed.n.bit_length() + 7) // 8, "big")
+    digest = hashlib.sha256()
+    digest.update(b"chiaroscuro-pool:")
+    digest.update(precomputed.s.to_bytes(2, "big"))
+    digest.update(n_bytes)
+    return digest.hexdigest()
+
+
+class PrecomputationService:
+    """Background filler and persistence layer for precomputed crypto state.
+
+    Owns a :class:`BlinderPool` (created on demand, or adopt an existing
+    one so backend and service share state), an encryptions-of-zero FIFO
+    and a cache of :class:`FixedBaseTable` instances keyed by
+    ``(base, max_exponent_bits, window)``.  All mutation is thread-safe;
+    generation time is accumulated in :attr:`offline_seconds`.
+    """
+
+    def __init__(
+        self,
+        precomputed: PrecomputedKey,
+        pool: BlinderPool | None = None,
+        batch_size: int = 32,
+        rng: Callable[[int], int] | None = None,
+    ) -> None:
+        self.precomputed = precomputed
+        self.pool = pool if pool is not None else BlinderPool(
+            precomputed, batch_size=batch_size, rng=rng
+        )
+        self._random_coprime = rng if rng is not None else random_coprime
+        self._zeros: deque[int] = deque()
+        self._tables: dict[tuple[int, int, int], FixedBaseTable] = {}
+        self._lock = threading.Lock()
+        #: Seconds this service has spent generating pooled material — the
+        #: measured offline phase of this process.
+        self.offline_seconds = 0.0
+        self.zeros_generated = 0
+        self.zeros_served = 0
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def fingerprint(self) -> str:
+        """Key fingerprint every pool file of this service carries."""
+        return key_fingerprint(self.precomputed)
+
+    # ------------------------------------------------------------------ generation
+    def _fresh_zero(self) -> int:
+        """One fresh encryption of zero: ``r^{n^s} mod n^{s+1}``."""
+        randomness = self._random_coprime(self.precomputed.n)
+        return self.precomputed.crt_pow(randomness, self.precomputed.n_to_s)
+
+    def plan_refill(self, expected_per_round: int) -> int:
+        """Cost-model-driven batch size (see :func:`plan_pool_batch`)."""
+        return plan_pool_batch(expected_per_round)
+
+    def refill(self, blinders: int | None = None, zeros: int = 0) -> None:
+        """Generate pooled material now, charging the time to the offline phase.
+
+        ``blinders=None`` refills one pool batch; pass explicit counts to
+        top up ahead of a known workload (see :meth:`plan_refill`).
+        """
+        start = time.perf_counter()
+        self.pool.refill(blinders)
+        if zeros:
+            fresh = [self._fresh_zero() for _ in range(zeros)]
+            with self._lock:
+                self._zeros.extend(fresh)
+                self.zeros_generated += len(fresh)
+        self.offline_seconds += time.perf_counter() - start
+
+    def take_zero(self) -> int:
+        """Pop the oldest pooled encryption of zero, generating on exhaustion."""
+        with self._lock:
+            if self._zeros:
+                self.zeros_served += 1
+                return self._zeros.popleft()
+        start = time.perf_counter()
+        fresh = self._fresh_zero()
+        self.offline_seconds += time.perf_counter() - start
+        with self._lock:
+            self.zeros_served += 1
+        return fresh
+
+    def zeros_available(self) -> int:
+        """Number of pooled encryptions of zero currently held."""
+        with self._lock:
+            return len(self._zeros)
+
+    def table_for(
+        self, base: int, max_exponent_bits: int, window: int = 5
+    ) -> FixedBaseTable:
+        """A cached fixed-base table for a recurring base (built once)."""
+        key = (int(base), int(max_exponent_bits), int(window))
+        with self._lock:
+            table = self._tables.get(key)
+        if table is not None:
+            return table
+        start = time.perf_counter()
+        table = FixedBaseTable(
+            base, self.precomputed.modulus, max_exponent_bits, window=window
+        )
+        self.offline_seconds += time.perf_counter() - start
+        with self._lock:
+            return self._tables.setdefault(key, table)
+
+    def start_background_refill(self, low_water: int | None = None) -> None:
+        """Start the pool's refill worker (see :class:`BlinderPool`)."""
+        self.pool.start_background_refill(low_water)
+
+    def stop_background_refill(self) -> None:
+        """Stop the pool's refill worker; idempotent."""
+        self.pool.stop_background_refill()
+
+    # ------------------------------------------------------------------ persistence
+    def save(self, path: str | os.PathLike, blinders: int, zeros: int = 0) -> dict:
+        """Write a pool file holding *freshly generated* material.
+
+        The values written are generated here and now — never taken from
+        the in-memory pool, so nothing this process might serve later can
+        collide with what the loading process serves (see the module
+        docstring for why shared blinders are a linkability break).  The
+        write is atomic (temp file + rename); generation time is charged
+        to the offline phase.  Returns a summary dictionary.
+        """
+        if blinders < 0 or zeros < 0:
+            raise PoolFileError("pool-file counts must be non-negative")
+        if blinders + zeros > _MAX_POOL_FILE_VALUES:
+            raise PoolFileError(
+                f"pool file of {blinders + zeros} values exceeds "
+                f"{_MAX_POOL_FILE_VALUES}"
+            )
+        start = time.perf_counter()
+        fresh_blinders = [self._fresh_zero() for _ in range(blinders)]
+        fresh_zeros = [self._fresh_zero() for _ in range(zeros)]
+        self.offline_seconds += time.perf_counter() - start
+        payload = {
+            "version": POOL_FILE_VERSION,
+            "key": {
+                "n": format(self.precomputed.n, "x"),
+                "s": self.precomputed.s,
+                "fingerprint": self.fingerprint,
+            },
+            "created_unix": time.time(),
+            "blinders": [format(value, "x") for value in fresh_blinders],
+            "zeros": [format(value, "x") for value in fresh_zeros],
+        }
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temporary = target.with_name(target.name + f".tmp.{os.getpid()}")
+        with temporary.open("w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        temporary.replace(target)
+        return {
+            "path": str(target),
+            "blinders": len(fresh_blinders),
+            "zeros": len(fresh_zeros),
+            "fingerprint": self.fingerprint,
+        }
+
+    def load(self, path: str | os.PathLike, max_age_seconds: float | None = None) -> dict:
+        """Consume a pool file: validate, absorb, **delete**.
+
+        Raises :class:`PoolFileError` on a bad version, a fingerprint that
+        does not match this service's key, or a file older than
+        *max_age_seconds*.  On success the file is removed before the
+        method returns, so no other process can absorb the same blinders,
+        and the values are appended to the pool / zeros FIFO.  Returns a
+        summary dictionary with the absorbed counts.
+        """
+        source = Path(path)
+        try:
+            with source.open() as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise PoolFileError(f"cannot read pool file {source}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise PoolFileError(f"corrupt pool file {source}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != POOL_FILE_VERSION:
+            raise PoolFileError(
+                f"pool file {source} has unsupported version "
+                f"{payload.get('version') if isinstance(payload, dict) else '?'}"
+            )
+        key_info = payload.get("key", {})
+        if key_info.get("fingerprint") != self.fingerprint:
+            raise PoolFileError(
+                f"pool file {source} was generated under a different key "
+                f"(file {key_info.get('fingerprint')!r}, ours {self.fingerprint!r})"
+            )
+        created = float(payload.get("created_unix", 0.0))
+        age = time.time() - created
+        if max_age_seconds is not None and age > max_age_seconds:
+            raise PoolFileError(
+                f"pool file {source} is {age:.0f}s old "
+                f"(staleness bound {max_age_seconds:.0f}s)"
+            )
+        raw_blinders = payload.get("blinders", [])
+        raw_zeros = payload.get("zeros", [])
+        if len(raw_blinders) + len(raw_zeros) > _MAX_POOL_FILE_VALUES:
+            raise PoolFileError(f"pool file {source} declares too many values")
+        modulus = self.precomputed.modulus
+        try:
+            blinders = [int(value, 16) for value in raw_blinders]
+            zeros = [int(value, 16) for value in raw_zeros]
+        except (TypeError, ValueError) as exc:
+            raise PoolFileError(f"corrupt pool values in {source}: {exc}") from exc
+        for value in blinders + zeros:
+            if not 0 < value < modulus:
+                raise PoolFileError(f"pool value outside the ciphertext group in {source}")
+        # Consume before absorbing: once deleted, these blinders exist only
+        # in this process.
+        source.unlink()
+        self.pool.preload(blinders)
+        if zeros:
+            with self._lock:
+                self._zeros.extend(zeros)
+                self.zeros_generated += len(zeros)
+        return {
+            "path": str(source),
+            "blinders": len(blinders),
+            "zeros": len(zeros),
+            "age_seconds": age,
+        }
+
+    def adopt_pool_file(
+        self,
+        path: str | os.PathLike,
+        refill_blinders: int | None = None,
+        max_age_seconds: float | None = None,
+    ) -> dict:
+        """The one-call pool-file protocol: load-consume, then save fresh.
+
+        When the file exists its contents are absorbed (and the file is
+        deleted); either way a fresh batch is generated and written for
+        the *next* process.  This keeps a pool file continuously warm
+        across a sequence of runs while every run still serves distinct
+        blinders.  Returns ``{"loaded": ..., "saved": ...}`` summaries.
+
+        An unusable file — wrong key, stale, corrupt — is a cold start,
+        not an error: adopting a path means owning it, and a run whose key
+        does not match the file (every CLI run generates a fresh keypair)
+        would otherwise fail forever on a pool it can never absorb.  The
+        absorption is skipped, the reason lands in the ``"skipped"`` key
+        of the summary, and the fresh batch replaces the unusable file.
+        """
+        loaded = None
+        skipped = None
+        if Path(path).exists():
+            try:
+                loaded = self.load(path, max_age_seconds=max_age_seconds)
+            except PoolFileError as exc:
+                skipped = str(exc)
+        count = refill_blinders if refill_blinders is not None else self.pool.batch_size
+        saved = self.save(path, blinders=count)
+        summary = {"loaded": loaded, "saved": saved}
+        if skipped is not None:
+            summary["skipped"] = skipped
+        return summary

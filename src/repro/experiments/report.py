@@ -36,6 +36,9 @@ DEFAULT_METRICS = (
     "messages_per_participant",
     "bytes_per_participant",
     "wall_clock_seconds",
+    # Phase-tagged crypto compute (absent without a committed BENCH profile).
+    "offline_seconds",
+    "online_seconds",
     # Nondeterminism envelope of concurrent live runs (absent otherwise).
     "envelope.profile_distance_relative",
     "envelope.assignment_churn",
@@ -85,6 +88,11 @@ def _flat_row(spec: ExperimentSpec, cell: ScenarioCell, row: Mapping[str, Any],
     # them under an "envelope." prefix so they render as ordinary columns.
     for key, value in (result.get("costs", {}).get("envelope") or {}).items():
         flat[f"envelope.{key}"] = value
+    # Offline/online phase split (present only when the run found a
+    # committed benchmark profile to price its operation counts with).
+    for key in ("offline_seconds", "online_seconds"):
+        if key in result.get("costs", {}):
+            flat[key] = result["costs"][key]
     flat["iteration_costs"] = result.get("iteration_costs", [])
     flat.pop("stop_reasons", None)
     return flat

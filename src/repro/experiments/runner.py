@@ -22,14 +22,18 @@ import multiprocessing
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
 from typing import Any, Callable, Mapping
 
 from ..exceptions import ExperimentError
 from .spec import ExperimentSpec, ScenarioCell
 from .store import ResultStore, failure_row, result_row
 
-#: Seconds between scheduler polls while cells are in flight.
-_POLL_INTERVAL = 0.02
+#: Coarse upper bound (seconds) on one scheduler wait.  The loop blocks in
+#: :func:`multiprocessing.connection.wait` over the in-flight cell pipes, so
+#: a finishing (or dying — its pipe end closes) worker wakes it immediately;
+#: this cap only paces the hard-timeout checks, which need no finer clock.
+_MAX_WAIT_SECONDS = 0.5
 
 
 def _cell_runtime_ports(config, slot: int):
@@ -316,7 +320,17 @@ def run_experiment(
                     settle(position, row)
                     made_progress = True
             if not made_progress and active:
-                time.sleep(_POLL_INTERVAL)
+                # Sleep until some worker reports instead of burning CPU on a
+                # fixed-interval poll, waking early for the nearest deadline.
+                wait_for = _MAX_WAIT_SECONDS
+                now = time.monotonic()
+                for entry in active.values():
+                    if entry.deadline is not None:
+                        wait_for = min(wait_for, max(0.0, entry.deadline - now))
+                _mp_connection.wait(
+                    [entry.connection for entry in active.values()],
+                    timeout=wait_for,
+                )
     finally:
         for entry in active.values():  # pragma: no cover - interrupt cleanup
             entry.process.terminate()

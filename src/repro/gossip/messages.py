@@ -34,7 +34,7 @@ message alone — identical across cipher backends, platforms and runs.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import ClassVar, Sequence
 
 from ..crypto.wire import (
@@ -63,6 +63,7 @@ _MAX_ESTIMATES = 1 << 12
 _MAX_ITERATION = (1 << 32) - 1
 _MAX_HALVINGS = 1 << 20
 _MAX_KEY_DEGREE = 64
+_MAX_BATCH_FRAMES = 1 << 10
 
 
 def _check_field(value: int, limit: int, field: str) -> int:
@@ -400,6 +401,99 @@ class KeyAnnouncement(WireMessage):
                    n_shares=n_shares)
 
 
+@dataclass(frozen=True)
+class BatchEnvelope(WireMessage):
+    """Several complete frames packed into one outer frame.
+
+    The live runner's committee decryption sends one identical request to
+    every helper a remote worker hosts; batching lets all of those travel
+    in a single socket record instead of one record per helper.  The body
+    is a flags byte (bit 0: the frame section is a zlib stream), the frame
+    count, then each inner frame length-prefixed.  Inner frames are the
+    ordinary serialized bytes of any registered message type — including,
+    recursively, nothing: a ``BatchEnvelope`` must not contain another
+    ``BatchEnvelope``, and the decoder rejects nesting.
+
+    Compression is declarative per batch: encoders only set the zlib flag
+    when the compressed section is actually smaller, so batching with
+    compression enabled never inflates a record.  Decoding bounds both the
+    frame count and the decompressed size before allocating, so a hostile
+    peer cannot use a tiny zlib bomb to exhaust memory.
+    """
+
+    frames: tuple[bytes, ...]
+    # A compression *request*, not part of message identity: the encoder
+    # only honours it when zlib actually shrinks the section, so equality
+    # (and the serialize/deserialize round-trip) compares frames alone.
+    compress: bool = field(default=False, compare=False)
+    TYPE: ClassVar[int] = 0x0C
+
+    def _write_body(self, out: bytearray) -> None:
+        if len(self.frames) > _MAX_BATCH_FRAMES:
+            raise WireFormatError(
+                f"batch of {len(self.frames)} frames exceeds {_MAX_BATCH_FRAMES}"
+            )
+        section = bytearray()
+        write_varint(section, len(self.frames))
+        for frame in self.frames:
+            if len(frame) > MAX_FRAME_BYTES:
+                raise WireFormatError("inner frame exceeds the frame limit")
+            if len(frame) >= 4 and frame[3] == self.TYPE:
+                raise WireFormatError("a batch must not contain another batch")
+            write_varint(section, len(frame))
+            section.extend(frame)
+        compressed = zlib.compress(bytes(section), 6) if self.compress else None
+        if compressed is not None and len(compressed) < len(section):
+            out.append(0x01)
+            out.extend(compressed)
+        else:
+            out.append(0x00)
+            out.extend(section)
+
+    @classmethod
+    def _read_body(cls, reader: WireReader) -> "BatchEnvelope":
+        flags = reader.read_bytes(1)[0]
+        if flags not in (0x00, 0x01):
+            raise WireFormatError(f"unknown batch flags 0x{flags:02x}")
+        compressed = bool(flags & 0x01)
+        raw = reader.read_bytes(reader.remaining - 4)
+        if compressed:
+            decompressor = zlib.decompressobj()
+            try:
+                raw = decompressor.decompress(raw, MAX_FRAME_BYTES)
+            except zlib.error as exc:
+                raise WireFormatError(f"corrupt batch zlib stream: {exc}") from exc
+            if decompressor.unconsumed_tail or not decompressor.eof:
+                raise WireFormatError("batch zlib stream too large or truncated")
+        section = WireReader(raw)
+        count = section.read_varint(limit=_MAX_BATCH_FRAMES)
+        frames = []
+        for _ in range(count):
+            length = section.read_varint(limit=MAX_FRAME_BYTES)
+            frame = section.read_bytes(length)
+            if len(frame) >= 4 and frame[3] == cls.TYPE:
+                raise WireFormatError("a batch must not contain another batch")
+            frames.append(frame)
+        if section.remaining:
+            raise WireFormatError(
+                f"{section.remaining} trailing bytes after the batched frames"
+            )
+        return cls(frames=tuple(frames), compress=compressed)
+
+    def messages(self) -> tuple["WireMessage", ...]:
+        """Decode every inner frame through the ordinary entry point."""
+        return tuple(deserialize(frame) for frame in self.frames)
+
+
+def batch_frames(frames: Sequence[bytes], compress: bool = False) -> bytes:
+    """Pack already-serialized frames into one ``BatchEnvelope`` frame.
+
+    With ``compress`` the envelope uses zlib only when it actually shrinks
+    the payload, so callers can enable compression unconditionally.
+    """
+    return BatchEnvelope(frames=tuple(frames), compress=compress).serialize()
+
+
 #: Registry of every frame type, keyed by the type byte.
 MESSAGE_TYPES: dict[int, type[WireMessage]] = {
     cls.TYPE: cls
@@ -409,6 +503,7 @@ MESSAGE_TYPES: dict[int, type[WireMessage]] = {
         DecryptRequest, DecryptResponse,
         GossipAvgRequest, GossipAvgReply, PushSumMessage,
         MembershipAnnouncement, KeyAnnouncement,
+        BatchEnvelope,
     )
 }
 

@@ -8,7 +8,7 @@ travels inside a length-prefixed envelope::
     0       4     record length L (big-endian, excluding these 4 bytes)
     4       1     kind: 0x01 control, 0x02 frame
     5       8     correlation id (big-endian; pairs a reply with its request)
-    13      1     flags (bit 0: this record is a reply)
+    13      1     flags (bit 0: reply; bit 1: payload is a BatchEnvelope)
     14      4     header length H (big-endian)
     18      H     header: canonical JSON object (UTF-8)
     18+H    ...   payload: for ``frame`` records, one serialized wire frame
@@ -43,6 +43,11 @@ _KINDS = (KIND_CONTROL, KIND_FRAME)
 
 #: Flag bits.
 FLAG_REPLY = 0x01
+#: The payload is a :class:`~repro.gossip.messages.BatchEnvelope` frame
+#: packing several protocol frames.  Decoders ignore unknown flag bits, so
+#: this bit is backward compatible: a record without it is byte-identical
+#: to what the unbatched runner has always produced.
+FLAG_BATCH = 0x02
 
 #: Upper bound on one record: any frame the protocol wire format accepts
 #: must fit, plus generous room for the envelope fields and JSON header —
@@ -76,6 +81,7 @@ class Envelope:
     header: dict[str, Any] = field(default_factory=dict)
     payload: bytes = b""
     is_reply: bool = False
+    is_batch: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -96,7 +102,10 @@ def encode_envelope(envelope: Envelope) -> bytes:
     out.extend(body_length.to_bytes(_PREFIX_BYTES, "big"))
     out.append(envelope.kind)
     out.extend(envelope.correlation_id.to_bytes(8, "big"))
-    out.append(FLAG_REPLY if envelope.is_reply else 0)
+    flags = (FLAG_REPLY if envelope.is_reply else 0) | (
+        FLAG_BATCH if envelope.is_batch else 0
+    )
+    out.append(flags)
     out.extend(len(header_bytes).to_bytes(4, "big"))
     out.extend(header_bytes)
     out.extend(envelope.payload)
@@ -132,6 +141,7 @@ def decode_envelope(body: bytes) -> Envelope:
         header=header,
         payload=payload,
         is_reply=bool(flags & FLAG_REPLY),
+        is_batch=bool(flags & FLAG_BATCH),
     )
 
 

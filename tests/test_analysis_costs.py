@@ -92,6 +92,54 @@ class TestCostModel:
         assert estimate.encryption_seconds == pytest.approx(10 * 2 * 5 * 49 * 0.01)
 
 
+class TestPhaseSplit:
+    """Offline/online phase attribution of pool-served operations."""
+
+    @pytest.fixture()
+    def pooled_profile(self):
+        return CryptoCostProfile(
+            key_bits=2048, degree=1, keygen_seconds=1.0, encryption_seconds=0.01,
+            addition_seconds=1e-4, partial_decryption_seconds=0.02,
+            combination_seconds=0.03, ciphertext_bytes=512,
+            fastmath="auto", pooled_encryption_seconds=0.001,
+        )
+
+    def test_rerandomizations_are_charged_the_pooled_cost(self, pooled_profile):
+        """Regression: a rerandomization draws a blinder from the same pool
+        as a pooled encryption and is one multiplication on the hot path —
+        it must never be billed a full fresh exponentiation online."""
+        counts = {"pooled_encryptions": 10, "rerandomizations": 5}
+        assert pooled_profile.seconds_for_counts(counts) \
+            == pytest.approx(15 * 0.001)
+
+    def test_offline_charges_one_exponentiation_per_pool_draw(self, pooled_profile):
+        counts = {"pooled_encryptions": 10, "rerandomizations": 5,
+                  "additions": 100}
+        assert pooled_profile.offline_seconds_for_counts(counts) \
+            == pytest.approx(15 * 0.01)
+
+    def test_phases_sum_to_the_total(self, pooled_profile):
+        counts = {"encryptions": 3, "pooled_encryptions": 10,
+                  "rerandomizations": 5, "additions": 100,
+                  "partial_decryptions": 7, "combinations": 2}
+        phases = pooled_profile.phase_seconds_for_counts(counts)
+        assert phases["total_seconds"] == pytest.approx(
+            phases["offline_seconds"] + phases["online_seconds"]
+        )
+        assert phases["offline_seconds"] > 0
+
+    def test_without_a_pool_everything_is_online(self, workload):
+        profile = CryptoCostProfile(
+            key_bits=2048, degree=1, keygen_seconds=1.0, encryption_seconds=0.01,
+            addition_seconds=1e-4, partial_decryption_seconds=0.02,
+            combination_seconds=0.03, ciphertext_bytes=512,
+        )
+        counts = {"pooled_encryptions": 10, "rerandomizations": 5}
+        assert profile.offline_seconds_for_counts(counts) == 0.0
+        # With no pool the full exponentiation happens on the hot path.
+        assert profile.seconds_for_counts(counts) == pytest.approx(15 * 0.01)
+
+
 class TestByteAccounting:
     def test_modelled_bytes_match_cost_model(self, measured_profile, workload):
         estimate = CostModel(measured_profile).estimate(workload)

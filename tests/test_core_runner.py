@@ -84,6 +84,20 @@ class TestRunOutcome:
         as_dict = costs.as_dict()
         assert as_dict["messages_per_participant"] > 0
 
+    def test_phase_split_attached_from_the_committed_profile(self, result):
+        """With BENCH_crypto.json at the repo root every run result carries
+        the offline/online phase split, and the phases sum to the total
+        modelled crypto seconds."""
+        costs = result.costs
+        assert costs.offline_seconds is not None
+        assert costs.online_seconds is not None
+        assert costs.online_seconds > 0.0
+        assert costs.offline_seconds >= 0.0
+        as_dict = costs.as_dict()
+        assert as_dict["online_seconds"] == costs.online_seconds
+        assert set(as_dict["phase_ops"]) == {"offline", "online"}
+        assert as_dict["phase_ops"]["online"]["encryptions"] == costs.encryptions
+
     def test_execution_log_populated(self, result):
         assert len(result.log) >= 1
         assert len(result.log) <= result.n_iterations

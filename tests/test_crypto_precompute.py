@@ -1,0 +1,210 @@
+"""Tests of the offline precomputation service (crypto/precompute.py).
+
+The service's contract: everything it serves online — pooled blinders,
+encryptions of zero, fixed-base tables — is indistinguishable from freshly
+generated material, and its persisted pool files are *consumable*: valid
+only under the exact key they were generated for, optionally bounded in
+age, and deleted on load so no two processes can ever absorb (and hence
+serve) the same blinder.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.crypto import damgard_jurik as dj
+from repro.crypto.backends import make_backend
+from repro.crypto.fastmath import BlinderPool, PrecomputedKey
+from repro.crypto.precompute import (
+    POOL_FILE_VERSION,
+    PoolFileError,
+    PrecomputationService,
+    key_fingerprint,
+)
+
+# Cheap shared keys: generation inside each test would dominate the runtime.
+PUBLIC, PRIVATE = dj.generate_keypair(key_bits=128, s=1)
+PRECOMPUTED = PrecomputedKey.from_private_key(PRIVATE)
+OTHER_PRECOMPUTED = PrecomputedKey.from_private_key(
+    dj.generate_keypair(key_bits=128, s=1)[1]
+)
+
+
+def _service(**kwargs) -> PrecomputationService:
+    return PrecomputationService(PRECOMPUTED, batch_size=4, **kwargs)
+
+
+class TestServiceBasics:
+    def test_fingerprint_depends_on_the_key(self):
+        assert _service().fingerprint == key_fingerprint(PRECOMPUTED)
+        assert key_fingerprint(PRECOMPUTED) != key_fingerprint(OTHER_PRECOMPUTED)
+
+    def test_zeros_decrypt_to_zero(self):
+        service = _service()
+        service.refill(blinders=0, zeros=3)
+        assert service.zeros_available() == 3
+        for _ in range(3):
+            assert dj.decrypt(PRIVATE, service.take_zero()) == 0
+        assert service.zeros_available() == 0
+        # Exhausted FIFO falls back to fresh generation, still a valid zero.
+        assert dj.decrypt(PRIVATE, service.take_zero()) == 0
+
+    def test_refill_charges_the_offline_phase(self):
+        service = _service()
+        assert service.offline_seconds == 0.0
+        service.refill(blinders=4, zeros=2)
+        assert service.offline_seconds > 0.0
+        assert len(service.pool) >= 4
+
+    def test_tables_are_cached_per_base(self):
+        service = _service()
+        table = service.table_for(3, max_exponent_bits=64)
+        assert service.table_for(3, max_exponent_bits=64) is table
+        assert service.table_for(5, max_exponent_bits=64) is not table
+        assert table.pow(12345) == pow(3, 12345, PRECOMPUTED.modulus)
+
+    def test_adopts_an_existing_pool(self):
+        pool = BlinderPool(PRECOMPUTED, batch_size=2)
+        service = PrecomputationService(PRECOMPUTED, pool=pool)
+        assert service.pool is pool
+
+
+class TestPoolFiles:
+    def test_save_load_round_trip_consumes_the_file(self, tmp_path):
+        path = tmp_path / "pool.json"
+        writer = _service()
+        summary = writer.save(path, blinders=5, zeros=2)
+        assert summary["blinders"] == 5 and summary["zeros"] == 2
+        assert path.exists()
+
+        reader = _service()
+        loaded = reader.load(path)
+        assert loaded["blinders"] == 5 and loaded["zeros"] == 2
+        # Consumed: the file is gone before the values are served.
+        assert not path.exists()
+        assert len(reader.pool) >= 5
+        assert reader.zeros_available() == 2
+        # Absorbed material is cryptographically sound.
+        ciphertext = reader.pool.take() % PRECOMPUTED.modulus
+        assert dj.decrypt(PRIVATE, ciphertext) == 0
+        assert dj.decrypt(PRIVATE, reader.take_zero()) == 0
+
+    def test_wrong_key_is_rejected_and_not_consumed(self, tmp_path):
+        path = tmp_path / "pool.json"
+        _service().save(path, blinders=2)
+        stranger = PrecomputationService(OTHER_PRECOMPUTED, batch_size=4)
+        with pytest.raises(PoolFileError, match="different key"):
+            stranger.load(path)
+        # A rejected file stays on disk for the rightful owner.
+        assert path.exists()
+        assert _service().load(path)["blinders"] == 2
+
+    def test_stale_file_is_rejected(self, tmp_path):
+        path = tmp_path / "pool.json"
+        _service().save(path, blinders=1)
+        payload = json.loads(path.read_text())
+        payload["created_unix"] -= 3600.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PoolFileError, match="old"):
+            _service().load(path, max_age_seconds=60.0)
+        assert path.exists()
+
+    def test_bad_version_and_corrupt_files_are_rejected(self, tmp_path):
+        path = tmp_path / "pool.json"
+        _service().save(path, blinders=1)
+        payload = json.loads(path.read_text())
+        payload["version"] = POOL_FILE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PoolFileError, match="version"):
+            _service().load(path)
+        path.write_text("{not json")
+        with pytest.raises(PoolFileError, match="corrupt"):
+            _service().load(path)
+        with pytest.raises(PoolFileError, match="cannot read"):
+            _service().load(tmp_path / "missing.json")
+
+    def test_values_outside_the_group_are_rejected(self, tmp_path):
+        path = tmp_path / "pool.json"
+        _service().save(path, blinders=1)
+        payload = json.loads(path.read_text())
+        payload["blinders"] = [format(PRECOMPUTED.modulus + 1, "x")]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PoolFileError, match="ciphertext group"):
+            _service().load(path)
+
+    def test_save_validates_counts(self, tmp_path):
+        with pytest.raises(PoolFileError):
+            _service().save(tmp_path / "pool.json", blinders=-1)
+
+    def test_adopt_pool_file_warms_across_runs(self, tmp_path):
+        path = tmp_path / "pool.json"
+        first = _service().adopt_pool_file(path, refill_blinders=3)
+        assert first["loaded"] is None
+        assert first["saved"]["blinders"] == 3
+        assert path.exists()
+
+        second_service = _service()
+        second = second_service.adopt_pool_file(path, refill_blinders=3)
+        assert second["loaded"]["blinders"] == 3
+        assert second["saved"]["blinders"] == 3
+        assert len(second_service.pool) >= 3
+        # The refreshed file is for the *next* run, not this one.
+        assert path.exists()
+
+    def test_adopt_treats_an_unusable_file_as_a_cold_start(self, tmp_path):
+        """Adopting a path means owning it: a wrong-key file (every CLI run
+        generates a fresh keypair, so this is the common case for warm
+        starts) is skipped and replaced instead of failing the run."""
+        path = tmp_path / "pool.json"
+        _service().save(path, blinders=2)
+        stranger = PrecomputationService(OTHER_PRECOMPUTED, batch_size=4)
+        summary = stranger.adopt_pool_file(path, refill_blinders=3)
+        assert summary["loaded"] is None
+        assert "different key" in summary["skipped"]
+        assert summary["saved"]["blinders"] == 3
+        # Nothing foreign was absorbed; the file now belongs to the adopter.
+        assert len(stranger.pool) == 0
+        payload = json.loads(path.read_text())
+        assert payload["key"]["fingerprint"] == stranger.fingerprint
+
+    def test_adopt_replaces_a_stale_file(self, tmp_path):
+        path = tmp_path / "pool.json"
+        _service().save(path, blinders=1)
+        payload = json.loads(path.read_text())
+        payload["created_unix"] -= 3600.0
+        path.write_text(json.dumps(payload))
+        summary = _service().adopt_pool_file(
+            path, refill_blinders=2, max_age_seconds=60.0
+        )
+        assert summary["loaded"] is None and "old" in summary["skipped"]
+        assert json.loads(path.read_text())["blinders"]
+
+
+class TestBackendIntegration:
+    def test_backend_exposes_a_service_sharing_its_pool(self):
+        backend = make_backend("damgard_jurik", key_bits=128, degree=1,
+                               threshold=2, n_shares=3, fastmath="auto")
+        backend.configure_pool(4)
+        service = backend.precomputation_service()
+        assert service is not None
+        assert service.pool is backend._pool
+        assert backend.precomputation_service() is service
+
+    def test_fastmath_off_backend_has_no_service(self):
+        backend = make_backend("damgard_jurik", key_bits=128, degree=1,
+                               threshold=2, n_shares=3, fastmath="off")
+        assert backend.precomputation_service() is None
+
+    def test_configure_pool_adopts_a_pool_file(self, tmp_path):
+        path = tmp_path / "pool.json"
+        backend = make_backend("damgard_jurik", key_bits=128, degree=1,
+                               threshold=2, n_shares=3, fastmath="auto")
+        backend.configure_pool(4, pool_file=str(path))
+        # First run found nothing but left a warm file behind.
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["version"] == POOL_FILE_VERSION
+        assert payload["key"]["fingerprint"] \
+            == key_fingerprint(backend._precomputed)

@@ -68,6 +68,14 @@ class TestScenarioRows:
         empty = ResultStore("/nonexistent/never-written.jsonl")
         assert scenario_rows(spec, empty) == []
 
+    def test_rows_carry_the_phase_split(self, executed):
+        """The committed BENCH profile prices every stored run, so report
+        rows surface the offline/online crypto-second split as columns."""
+        spec, store = executed
+        for row in scenario_rows(spec, store):
+            assert row["online_seconds"] > 0
+            assert row["offline_seconds"] >= 0
+
 
 class TestComparisonRows:
     def test_one_row_per_scenario_with_run_counts(self, executed):

@@ -152,6 +152,23 @@ class TestEnvelopeMath:
         with pytest.raises(ValueError):
             align_profiles(np.zeros((2, 3)), np.zeros((3, 3)))
 
+    def test_align_with_an_empty_cluster_row(self):
+        """Regression: a cluster that ended a run empty carries a NaN
+        profile row; NaN distances must not let argmin steal the real
+        rows' matches."""
+        reference = np.array([[0.0, 0.0], [10.0, 10.0], [20.0, 20.0]])
+        shuffled = np.array([[20.0, 20.0], [np.nan, np.nan], [0.0, 0.0]])
+        perm = align_profiles(shuffled, reference)
+        # Real reference rows 0 and 2 claim their exact matches; the NaN
+        # row pairs with the starved reference row, keeping a permutation.
+        assert perm[0] == 2 and perm[2] == 0 and perm[1] == 1
+        assert sorted(perm) == [0, 1, 2]
+
+    def test_align_all_nan_still_returns_a_permutation(self):
+        reference = np.full((3, 2), np.nan)
+        perm = align_profiles(np.full((3, 2), np.nan), reference)
+        assert sorted(perm) == [0, 1, 2]
+
     def test_self_envelope_is_zero(self):
         result = run_chiaroscuro(_collection(), _config("cycle"))
         envelope = nondeterminism_envelope(result, result)

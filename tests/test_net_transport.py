@@ -170,6 +170,23 @@ class TestEnvelope:
         record = encode_envelope(envelope)
         assert decode_envelope(record[4:]) == envelope
 
+    def test_batch_flag_round_trips(self):
+        envelope = Envelope(kind=KIND_FRAME, correlation_id=7,
+                            header={"op": "decrypt-request"},
+                            payload=b"CW\x01...", is_batch=True)
+        record = encode_envelope(envelope)
+        decoded = decode_envelope(record[4:])
+        assert decoded.is_batch is True
+        assert decoded == envelope
+
+    def test_batch_flag_off_keeps_the_record_byte_identical(self):
+        """With batching disabled the flag bit is never set, so records are
+        the exact bytes earlier runner versions produced."""
+        plain = Envelope(kind=KIND_FRAME, correlation_id=7,
+                         header={"op": "x"}, payload=b"f")
+        assert encode_envelope(plain)[13] == 0x00
+        assert decode_envelope(encode_envelope(plain)[4:]).is_batch is False
+
     def test_floats_round_trip_exactly(self):
         values = [0.1, 1e-17, 65536.8515625, -3.141592653589793]
         envelope = Envelope(kind=KIND_CONTROL, correlation_id=1,

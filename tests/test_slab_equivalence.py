@@ -78,6 +78,18 @@ class TestSampledCrypto:
             assert entry["low"] <= entry["estimate"] <= entry["high"]
             assert entry["estimate"] > 0
 
+    def test_phase_split_extrapolates_and_sums(self, sampled):
+        """The committed BENCH profile prices the sampled counters, so the
+        extrapolated totals carry the offline/online split — and the two
+        phases sum to the extrapolated crypto seconds."""
+        totals = sampled.costs.extrapolated["totals"]
+        assert totals["online_seconds"]["estimate"] > 0
+        assert totals["offline_seconds"]["estimate"] >= 0
+        assert totals["crypto_seconds"]["estimate"] == pytest.approx(
+            totals["online_seconds"]["estimate"]
+            + totals["offline_seconds"]["estimate"], rel=1e-6,
+        )
+
     def test_counters_hold_the_sample_only(self, sampled):
         # Executed crypto covers only the sampled sub-run, scaled copies
         # live in the extrapolation.

@@ -129,32 +129,49 @@ def test_packed_ciphertexts_cut_costs_without_changing_results(benchmark, tmp_pa
 
 # ---------------------------------------------------------------- engine race
 def _engine_probe(connection, n_participants: int, engine: str,
-                  sample_fraction: float, iterations: int, seed: int) -> None:
-    """Subprocess body: one engine run, timed, with its own peak RSS."""
+                  sample_fraction: float, iterations: int, seed: int,
+                  slab_options: dict | None = None) -> None:
+    """Subprocess body: one engine run, timed, with its own peak RSS.
+
+    ``slab_options`` selects the out-of-core layout (``slab_dtype``,
+    ``slab_backing``, ``slab_chunk_rows``) and whether the dataset is
+    generated matrix-backed — one dense matrix instead of N Python series
+    objects, mandatory above ~10^6 where the object-per-series dataset
+    alone would dwarf the slabs being measured.
+    """
     from repro.config import ChiaroscuroConfig
     from repro.core.runner import run_chiaroscuro
     from repro.datasets import load_dataset_for_population
 
+    slab_options = slab_options or {}
     try:
+        dataset_params = {"n_clusters": 4, "noise_std": 0.05}
+        if slab_options.get("matrix_backed"):
+            dataset_params["matrix_backed"] = True
+            dataset_params["dtype"] = slab_options.get("slab_dtype", "float64")
         collection = load_dataset_for_population(
-            "gaussian", n_participants, seed, n_clusters=4, noise_std=0.05
+            "gaussian", n_participants, seed, **dataset_params
         )
+        runtime = {
+            "engine": engine,
+            "crypto_sample_fraction":
+                sample_fraction if engine == "slab" else 1.0,
+        }
+        for knob in ("slab_dtype", "slab_backing", "slab_chunk_rows"):
+            if knob in slab_options:
+                runtime[knob] = slab_options[knob]
         config = ChiaroscuroConfig().with_overrides(
             simulation={"n_participants": n_participants, "seed": seed},
             kmeans={"n_clusters": 4, "max_iterations": iterations},
             privacy={"epsilon": 2.0, "noise_shares": 32},
             gossip={"cycles_per_aggregation": 6},
             crypto={"threshold": 3, "n_key_shares": 6},
-            runtime={
-                "engine": engine,
-                "crypto_sample_fraction":
-                    sample_fraction if engine == "slab" else 1.0,
-            },
+            runtime=runtime,
         )
         started = time.perf_counter()
         result = run_chiaroscuro(collection, config)
         wall_clock = time.perf_counter() - started
-        connection.send({
+        row = {
             "engine": engine,
             "n_participants": n_participants,
             "wall_clock_seconds": wall_clock,
@@ -162,7 +179,15 @@ def _engine_probe(connection, n_participants: int, engine: str,
             / 1024.0,
             "n_iterations": result.n_iterations,
             "inertia": result.inertia,
-        })
+        }
+        if engine == "slab" and slab_options:
+            row["slab_options"] = dict(slab_options)
+        if engine == "slab" and result.costs.phase_seconds is not None:
+            row["phase_seconds"] = {
+                phase: round(seconds, 4)
+                for phase, seconds in result.costs.phase_seconds.items()
+            }
+        connection.send(row)
     except Exception as error:  # pragma: no cover - surfaced by the parent
         connection.send({"error": f"{type(error).__name__}: {error}"})
     finally:
@@ -171,13 +196,14 @@ def _engine_probe(connection, n_participants: int, engine: str,
 
 def measure_engine(n_participants: int, engine: str,
                    sample_fraction: float = 0.01, iterations: int = 3,
-                   seed: int = 7) -> dict:
+                   seed: int = 7, slab_options: dict | None = None) -> dict:
     """Time one engine run in a forked subprocess (isolated peak RSS)."""
     context = multiprocessing.get_context("fork")
     parent, child = context.Pipe()
     worker = context.Process(
         target=_engine_probe,
-        args=(child, n_participants, engine, sample_fraction, iterations, seed),
+        args=(child, n_participants, engine, sample_fraction, iterations,
+              seed, slab_options),
     )
     worker.start()
     child.close()
@@ -193,7 +219,10 @@ def measure_engine(n_participants: int, engine: str,
 
 def measure_engine_race(populations: list[int], sample_fraction: float = 0.01,
                         iterations: int = 3, seed: int = 7,
-                        object_max: int | None = None) -> list[dict]:
+                        object_max: int | None = None,
+                        huge_threshold: int | None = None,
+                        slab_options: dict | None = None,
+                        sample_max_nodes: int | None = None) -> list[dict]:
     """Object-vs-slab wall clock and peak RSS over growing populations.
 
     Populations above ``object_max`` run the slab engine only: the object
@@ -201,12 +230,28 @@ def measure_engine_race(populations: list[int], sample_fraction: float = 0.01,
     plain backend's bigint estimates), so at N=10^5 its resident set blows
     past 100 GiB and the probe would be OOM-killed before finishing.  Those
     rows carry ``object_skipped: "exceeds memory"`` instead of a speedup.
+
+    Populations at or above ``huge_threshold`` additionally switch to the
+    out-of-core layout in ``slab_options`` (chunked float32 slab on a
+    memory-mapped file, matrix-backed dataset) — the N=10^7 configuration;
+    smaller populations keep the dense bit-exact float64 layout so the
+    committed speedup rows stay comparable across refreshes.
+    ``sample_max_nodes`` caps the sampled crypto sub-run size so huge
+    populations do not drag 10^5 object-engine nodes along.
     """
     rows = []
     for n_participants in populations:
+        fraction = sample_fraction
+        if sample_max_nodes is not None:
+            fraction = min(fraction, sample_max_nodes / n_participants)
+        options = None
+        if huge_threshold is not None and n_participants >= huge_threshold:
+            options = dict(slab_options or {})
+            options.setdefault("matrix_backed", True)
         slab_row = measure_engine(n_participants, "slab",
-                                  sample_fraction=sample_fraction,
-                                  iterations=iterations, seed=seed)
+                                  sample_fraction=fraction,
+                                  iterations=iterations, seed=seed,
+                                  slab_options=options)
         if object_max is not None and n_participants > object_max:
             slab_row["object_skipped"] = "exceeds memory"
             rows.append(slab_row)
@@ -217,6 +262,40 @@ def measure_engine_race(populations: list[int], sample_fraction: float = 0.01,
                                / max(slab_row["wall_clock_seconds"], 1e-9))
         rows.extend([object_row, slab_row])
     return rows
+
+
+# ---------------------------------------------------------------- RSS gate
+def measure_rss_ratio(n_participants: int, sample_fraction: float = 0.01,
+                      iterations: int = 3, seed: int = 7,
+                      slab_options: dict | None = None) -> dict:
+    """Peak RSS of the out-of-core slab layout relative to the dense one.
+
+    Both probes run the same slab workload at the same N; the dense side
+    uses the default in-memory float64 slab and per-object dataset, the
+    chunked side the full out-of-core stack (chunked slab on a memory-mapped
+    file, float32, matrix-backed dataset).  The ratio is the CI gate that
+    keeps the memory win from regressing.
+    """
+    dense = measure_engine(n_participants, "slab",
+                           sample_fraction=sample_fraction,
+                           iterations=iterations, seed=seed)
+    chunked_options = {
+        "slab_dtype": "float32",
+        "slab_backing": "mmap:/tmp",
+        # Smaller than the canonical reduce block: the pair-averaging
+        # gathers are the dominant transient at gate scale.
+        "slab_chunk_rows": 16384,
+        "matrix_backed": True,
+    }
+    chunked_options.update(slab_options or {})
+    chunked = measure_engine(n_participants, "slab",
+                             sample_fraction=sample_fraction,
+                             iterations=iterations, seed=seed,
+                             slab_options=chunked_options)
+    dense["layout"] = "dense"
+    chunked["layout"] = "chunked"
+    ratio = chunked["peak_rss_mib"] / max(dense["peak_rss_mib"], 1e-9)
+    return {"rows": [dense, chunked], "rss_ratio": ratio}
 
 
 def test_slab_engine_outruns_object_engine(benchmark):
@@ -258,12 +337,73 @@ def main(argv=None) -> int:
                              "at; beyond it only the slab engine runs (the "
                              "object engine needs ~1 MiB per node and is "
                              "OOM-killed near N=10^5 on a 128 GiB machine)")
+    parser.add_argument("--huge-threshold", type=int, default=1_000_000,
+                        help="populations at or above this switch to the "
+                             "out-of-core slab layout (chunked float32 slab "
+                             "on a memory-mapped file, matrix-backed dataset)")
+    parser.add_argument("--slab-dtype", default="float32",
+                        choices=["float64", "float32"],
+                        help="slab dtype of the out-of-core (huge) rows")
+    parser.add_argument("--slab-backing", default="mmap:/tmp",
+                        help="slab backing of the out-of-core (huge) rows")
+    parser.add_argument("--slab-chunk-rows", type=int, default=65536,
+                        help="row-block size of the out-of-core (huge) rows")
+    parser.add_argument("--sample-max-nodes", type=int, default=None,
+                        help="cap on sampled crypto sub-run size: the "
+                             "effective fraction at population N is "
+                             "min(sample-fraction, cap/N)")
+    parser.add_argument("--assert-rss-ratio", type=float, default=None,
+                        help="run the RSS gate instead of the race: fail "
+                             "unless the chunked slab's peak RSS is at most "
+                             "this fraction of the dense slab's at "
+                             "--rss-population")
+    parser.add_argument("--rss-population", type=int, default=100_000,
+                        help="population of the --assert-rss-ratio probes")
     parser.add_argument("--out", default="BENCH_population_scaling.json")
     args = parser.parse_args(argv)
+    slab_options = {
+        "slab_dtype": args.slab_dtype,
+        "slab_backing": args.slab_backing,
+        "slab_chunk_rows": args.slab_chunk_rows,
+    }
+    if args.assert_rss_ratio is not None:
+        # The gate always compares against its canonical chunked layout;
+        # the --slab-* knobs only shape the huge rows of the engine race.
+        comparison = measure_rss_ratio(
+            args.rss_population, sample_fraction=args.sample_fraction,
+            iterations=args.iterations, seed=args.seed,
+        )
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump({
+                "benchmark": "population_scaling_rss",
+                "population": args.rss_population,
+                "iterations": args.iterations,
+                "sample_fraction": args.sample_fraction,
+                "seed": args.seed,
+                **comparison,
+            }, handle, indent=2)
+            handle.write("\n")
+        print(format_table(
+            comparison["rows"],
+            columns=["layout", "n_participants", "wall_clock_seconds",
+                     "peak_rss_mib"],
+            title=f"chunked vs dense slab peak RSS, N={args.rss_population}",
+        ))
+        ratio = comparison["rss_ratio"]
+        if ratio > args.assert_rss_ratio:
+            print(f"FAIL: chunked/dense RSS ratio {ratio:.3f} exceeds "
+                  f"{args.assert_rss_ratio}")
+            return 1
+        print(f"chunked slab peak RSS is {ratio:.3f}x the dense slab's "
+              f"(gate: <= {args.assert_rss_ratio}x)")
+        return 0
     rows = measure_engine_race(
         args.populations, sample_fraction=args.sample_fraction,
         iterations=args.iterations, seed=args.seed,
         object_max=args.object_max,
+        huge_threshold=args.huge_threshold,
+        slab_options=slab_options,
+        sample_max_nodes=args.sample_max_nodes,
     )
     payload = {
         "benchmark": "population_scaling_engines",
@@ -271,6 +411,9 @@ def main(argv=None) -> int:
         "sample_fraction": args.sample_fraction,
         "seed": args.seed,
         "object_max": args.object_max,
+        "huge_threshold": args.huge_threshold,
+        "huge_slab_options": slab_options,
+        "sample_max_nodes": args.sample_max_nodes,
         "config": {
             "n_clusters": 4,
             "epsilon": 2.0,

@@ -64,6 +64,11 @@ def _dataset_from_args(args: argparse.Namespace):
     if dataset_size_parameter(args.dataset) is None:
         return load_dataset(args.dataset, seed=args.seed)
     extra = {"n_clusters": args.clusters} if args.dataset == "gaussian" else {}
+    if getattr(args, "matrix_backed", False):
+        # One flat array instead of N TimeSeries objects; the generator dtype
+        # follows the slab dtype so a float32 out-of-core run never
+        # materialises a float64 copy of the data matrix.
+        extra.update(matrix_backed=True, dtype=getattr(args, "slab_dtype", "float64"))
     return load_dataset_for_population(
         args.dataset, args.participants, seed=args.seed, **extra,
     )
@@ -92,6 +97,9 @@ def _config_from_args(args: argparse.Namespace) -> ChiaroscuroConfig:
             "envelope": args.envelope,
             "engine": args.engine,
             "slab_shards": args.slab_shards,
+            "slab_dtype": args.slab_dtype,
+            "slab_backing": args.slab_backing,
+            "slab_chunk_rows": args.slab_chunk_rows,
             "crypto_sample_fraction": args.sample_fraction,
         },
     )
@@ -175,7 +183,28 @@ def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
                              "modelled costs)")
     parser.add_argument("--slab-shards", type=int, default=1,
                         help="shared-memory worker shards of the slab engine's "
-                             "gossip averaging (results are shard-invariant)")
+                             "assignment, scatter/means and gossip-averaging "
+                             "phases (results are shard-invariant)")
+    parser.add_argument("--slab-dtype", default="float64",
+                        choices=["float64", "float32"],
+                        help="element type of the slab engine's estimate slab: "
+                             "float64 is bit-identical to the object engine, "
+                             "float32 halves resident memory for very large "
+                             "populations")
+    parser.add_argument("--slab-backing", default="memory",
+                        help="estimate-slab storage: memory, or mmap:<dir> to "
+                             "back the slab with an unlinked memory-mapped "
+                             "temporary file so huge populations run in "
+                             "bounded resident memory (bit-identical)")
+    parser.add_argument("--slab-chunk-rows", type=int, default=0,
+                        help="row-block size for the slab engine's elementwise "
+                             "phases (0 = whole slab at once); bounds peak "
+                             "temporaries without changing results")
+    parser.add_argument("--matrix-backed", action="store_true",
+                        help="generate the dataset as one flat array instead "
+                             "of per-node TimeSeries objects (gaussian only); "
+                             "with --slab-dtype float32 the data matrix is "
+                             "float32 end to end")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 

@@ -62,6 +62,13 @@ RUNTIME_STEPPING = ("sequential", "concurrent")
 #: ``off`` skips the reference run.
 RUNTIME_ENVELOPE = ("auto", "off")
 
+#: Element dtypes of the slab engine's estimate slab.  ``float64`` (default)
+#: is bit-identical to the object engine's arithmetic; ``float32`` halves the
+#: slab's footprint at the cost of reduced precision (an engine-internal
+#: memory optimisation — modelled wire bytes still price the protocol's
+#: float64 payload).
+SLAB_DTYPES = ("float64", "float32")
+
 
 @dataclass(frozen=True)
 class KMeansConfig:
@@ -399,9 +406,28 @@ class RuntimeConfig:
         on a sampled subset only (``crypto_sample_fraction``), extrapolating
         the remaining cost with bootstrap error bars — the million-node path.
     slab_shards:
-        Number of shared-memory worker shards of the slab engine's gossip
-        averaging step.  ``1`` (default) runs in-process; results are
-        shard-count invariant by construction.
+        Number of shared-memory worker shards of the slab engine's bulk
+        phases (assignment, contribution scatter, gossip averaging and the
+        online-mean reduction).  ``1`` (default) runs in-process; results
+        are shard-count invariant by construction (workers operate on fixed
+        canonical row blocks and the coordinator reduces partials in block
+        order).
+    slab_dtype:
+        Element dtype of the estimate slab: ``"float64"`` (default,
+        bit-identical to today's dense slab) or ``"float32"`` (half the
+        resident footprint; results differ in the low bits).
+    slab_backing:
+        Storage of the estimate slab: ``"memory"`` (default) keeps it
+        resident; ``"mmap:<dir>"`` backs it by a :class:`numpy.memmap`
+        scratch file under ``<dir>`` and drops processed pages
+        (``madvise(DONTNEED)``) so huge populations run in bounded resident
+        memory.
+    slab_chunk_rows:
+        Row-block size of the slab engine's elementwise phases (contribution
+        scatter and pair averaging).  ``0`` (default) processes whole slabs
+        at once; any positive value bounds the temporaries without changing
+        a single bit — reductions always run over fixed canonical blocks, so
+        results are chunk-size invariant by construction.
     crypto_sample_fraction:
         Fraction of the population that runs the real crypto pipeline
         end-to-end under the slab engine.  ``1.0`` (default) runs everything
@@ -421,6 +447,9 @@ class RuntimeConfig:
     write_buffer_limit: int = 1 << 16
     engine: str = "object"
     slab_shards: int = 1
+    slab_dtype: str = "float64"
+    slab_backing: str = "memory"
+    slab_chunk_rows: int = 0
     crypto_sample_fraction: float = 1.0
 
     def __post_init__(self) -> None:
@@ -431,6 +460,15 @@ class RuntimeConfig:
         check_positive_int(self.write_buffer_limit, "write_buffer_limit")
         check_in_choices(self.engine, RUNTIME_ENGINES, "engine")
         check_positive_int(self.slab_shards, "slab_shards")
+        check_in_choices(self.slab_dtype, SLAB_DTYPES, "slab_dtype")
+        if self.slab_backing != "memory":
+            prefix, _, directory = self.slab_backing.partition(":")
+            if prefix != "mmap" or not directory:
+                raise ConfigurationError(
+                    "slab_backing must be 'memory' or 'mmap:<dir>', got "
+                    f"{self.slab_backing!r}"
+                )
+        check_non_negative_int(self.slab_chunk_rows, "slab_chunk_rows")
         check_probability(self.crypto_sample_fraction, "crypto_sample_fraction")
         check_positive_int(self.processes, "processes")
         if not self.host:
@@ -557,19 +595,6 @@ class ChiaroscuroConfig:
                     "the slab engine is a cycle-mode population substrate "
                     "(set runtime.mode='cycle')"
                 )
-            if self.runtime.crypto_sample_fraction < 1.0:
-                if self.gossip.drop_probability > 0:
-                    raise ConfigurationError(
-                        "the sampled-crypto slab path does not model message "
-                        "loss yet (set gossip.drop_probability=0 or "
-                        "runtime.crypto_sample_fraction=1.0)"
-                    )
-                if self.network.corruption_rate > 0:
-                    raise ConfigurationError(
-                        "the sampled-crypto slab path does not model frame "
-                        "corruption yet (set network.corruption_rate=0 or "
-                        "runtime.crypto_sample_fraction=1.0)"
-                    )
         if self.crypto.threshold > self.simulation.n_participants:
             raise ConfigurationError(
                 "decryption threshold cannot exceed the number of participants "

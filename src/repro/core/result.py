@@ -54,6 +54,13 @@ class CostSummary:
     seconds.  ``phase_ops`` carries the per-phase operation counts behind
     the split.  All three stay ``None`` (keys absent from :meth:`as_dict`)
     when no benchmark profile was available.
+
+    ``phase_seconds`` is only set by the slab engine's sampled path: the
+    *measured* wall-clock totals of the bulk loop's phases (assignment,
+    scatter, noise, churn, pairing, averaging, means, analysis, sample),
+    which sum to the engine's measured wall-clock.  The per-iteration
+    series lives in ``iteration_costs`` under ``phase_seconds.<phase>``
+    keys.
     """
 
     n_participants: int
@@ -72,6 +79,7 @@ class CostSummary:
     offline_seconds: float | None = None
     online_seconds: float | None = None
     phase_ops: Mapping[str, Any] | None = None
+    phase_seconds: Mapping[str, float] | None = None
 
     @property
     def messages_per_participant(self) -> float:
@@ -154,6 +162,13 @@ class CostSummary:
             view["phase_ops"] = {
                 phase: {key: float(value) for key, value in ops.items()}
                 for phase, ops in self.phase_ops.items()
+            }
+        # Per-phase wall-clock of the slab engine's bulk loop (absent for
+        # the object engine and for full-measured slab runs).
+        if self.phase_seconds is not None:
+            view["phase_seconds"] = {
+                phase: float(seconds)
+                for phase, seconds in self.phase_seconds.items()
             }
         return view
 

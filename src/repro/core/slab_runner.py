@@ -26,8 +26,10 @@ Three regimes, selected by ``runtime.crypto_sample_fraction``:
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import replace
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -39,9 +41,7 @@ from ..analysis.costs import (
     bootstrap_extrapolate,
 )
 from ..clustering.kmeans import (
-    assign_to_centroids,
     centroid_displacement,
-    compute_inertia,
     public_initial_centroids,
     reseed_centroid,
 )
@@ -58,7 +58,11 @@ from ..simulation.rng import RngRegistry
 from ..simulation.slab import (
     PopulationSlabs,
     ShardCoordinator,
+    blockwise_assign,
+    blockwise_cluster_sums,
+    blockwise_inertia,
     pair_online,
+    plan_pair_faults,
     slab_churn_step,
 )
 from ..timeseries import TimeSeriesCollection
@@ -78,6 +82,48 @@ EXTRAPOLATED_METRICS = (
     "offline_seconds",
     "online_seconds",
 )
+
+#: Key prefix of the per-iteration phase wall-clock series in the execution
+#: log's cost mappings (``phase_seconds.<phase>``).
+PHASE_SECONDS_PREFIX = "phase_seconds."
+
+
+class PhaseTimer:
+    """Per-phase wall-clock accounting of the slab loop.
+
+    Every piece of work inside the slab engine's measured window runs under
+    :meth:`phase`, which charges its wall-clock both to the run totals and
+    to the current iteration.  The totals therefore sum to the measured
+    slab wall-clock up to loop bookkeeping overhead — that is the invariant
+    the CI phase gate checks — and "shard phase X next" becomes a measured
+    decision instead of a guess.
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.iteration: dict[str, float] = {}
+
+    def start_iteration(self) -> None:
+        """Reset the per-iteration accumulator (totals keep accruing)."""
+        self.iteration = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Charge the wall-clock of the enclosed block to *name*."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - begin
+            self.iteration[name] = self.iteration.get(name, 0.0) + elapsed
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+
+    def iteration_costs(self) -> dict[str, float]:
+        """The iteration's phase series as flat ``phase_seconds.*`` keys."""
+        return {
+            f"{PHASE_SECONDS_PREFIX}{name}": float(seconds)
+            for name, seconds in self.iteration.items()
+        }
 
 
 def load_reference_profile(config: ChiaroscuroConfig) -> CryptoCostProfile | None:
@@ -117,7 +163,7 @@ def _stratified_sample(
     rounding), so the sample sees the same mixture of series shapes the full
     population does.
     """
-    assigned = assign_to_centroids(data, centroids)
+    assigned = blockwise_assign(data, centroids)
     population = data.shape[0]
     clusters = centroids.shape[0]
     counts = np.bincount(assigned, minlength=clusters)
@@ -143,10 +189,19 @@ def _stratified_sample(
 
 
 def _sub_config(config: ChiaroscuroConfig, sample_size: int) -> ChiaroscuroConfig:
-    """Configuration of the sample's full-pipeline object-mode sub-run."""
+    """Configuration of the sample's full-pipeline object-mode sub-run.
+
+    The sample population is deliberately NOT pinned static: the bulk run's
+    churn and rejoin rates carry over, so the measured per-node costs see
+    the same membership dynamics the extrapolation claims to cover.
+    """
     return config.with_overrides(
         runtime={"engine": "object", "crypto_sample_fraction": 1.0},
-        simulation={"n_participants": sample_size},
+        simulation={
+            "n_participants": sample_size,
+            "churn_rate": config.simulation.churn_rate,
+            "rejoin_rate": config.simulation.rejoin_rate,
+        },
         crypto={"threshold": min(config.crypto.threshold, sample_size)},
         privacy={"noise_shares": min(config.privacy.noise_shares, sample_size)},
     )
@@ -329,33 +384,18 @@ def _bulk_noise_free_means(
     assigned: np.ndarray,
     reference: np.ndarray,
 ) -> np.ndarray:
-    """Exact per-cluster means of the current assignment (analysis only)."""
-    means = reference.copy()
-    for cluster in range(reference.shape[0]):
-        members = assigned == cluster
-        if members.any():
-            means[cluster] = data[members].mean(axis=0)
-    return means
+    """Exact per-cluster means of the current assignment (analysis only).
 
-
-def _scatter_contributions(
-    estimates: np.ndarray,
-    data: np.ndarray,
-    assigned: np.ndarray,
-) -> None:
-    """Write every node's plain contribution into its assigned-cluster block.
-
-    Layout per node: for the assigned cluster ``c``, columns
-    ``[c*(T+1), c*(T+1)+T)`` hold the series values and column
-    ``c*(T+1)+T`` holds the membership count 1; every other column is 0 —
-    exactly the per-cluster sum/count estimate vector of the protocol.
+    Accumulated over the canonical block partition (bounded temporaries at
+    any population; bitwise-equal to the dense per-cluster means for
+    single-block float64 populations).
     """
-    n, series_length = data.shape
-    estimates[:] = 0.0
-    base = assigned.astype(np.int64) * (series_length + 1)
-    columns = base[:, None] + np.arange(series_length + 1, dtype=np.int64)[None, :]
-    payload = np.concatenate([data, np.ones((n, 1))], axis=1)
-    np.put_along_axis(estimates, columns, payload, axis=1)
+    means = reference.copy()
+    sums, counts = blockwise_cluster_sums(data, assigned, reference.shape[0])
+    for cluster in range(reference.shape[0]):
+        if counts[cluster] > 0:
+            means[cluster] = sums[cluster] / counts[cluster]
+    return means
 
 
 def run_slab_chiaroscuro(
@@ -442,6 +482,9 @@ def _run_full_measured(
         "name": "slab",
         "crypto_sample_fraction": 1.0,
         "slab_shards": config.runtime.slab_shards,
+        "slab_dtype": config.runtime.slab_dtype,
+        "slab_backing": config.runtime.slab_backing,
+        "slab_chunk_rows": config.runtime.slab_chunk_rows,
         "population": costs.n_participants,
         "sample_size": costs.n_participants,
         "cost_profile": profile.as_dict() if profile is not None else None,
@@ -511,9 +554,30 @@ def _run_sampled(
     )
 
     width = k * (series_length + 1)
-    coordinator = ShardCoordinator(n, width, shards=config.runtime.slab_shards)
-    slabs = PopulationSlabs.allocate(data, k, estimates=coordinator.estimates)
-    row_bytes = width * 8  # modelled plain-slab payload of one gossip message
+    coordinator = ShardCoordinator(
+        n,
+        width,
+        shards=config.runtime.slab_shards,
+        dtype=config.runtime.slab_dtype,
+        backing=config.runtime.slab_backing,
+        chunk_rows=config.runtime.slab_chunk_rows,
+        data=data,
+    )
+    slabs = PopulationSlabs.allocate(
+        data,
+        k,
+        estimates=coordinator.estimates,
+        online=coordinator.online,
+        assigned=coordinator.assigned,
+    )
+    # Modelled wire payload of one gossip message: the protocol ships float64
+    # estimate vectors regardless of the engine-internal slab dtype.
+    row_bytes = width * 8
+    drop_probability = config.gossip.drop_probability
+    corruption_rate = config.network.corruption_rate
+    faults_enabled = drop_probability > 0.0 or corruption_rate > 0.0
+    loss_rng = registry.stream("slab.loss")
+    corruption_rng = registry.stream("slab.corruption")
 
     log = ExecutionLog(
         metadata={
@@ -532,97 +596,145 @@ def _run_sampled(
     iteration = 0
     bulk_messages = 0
     bulk_bytes = 0
+    bulk_dropped = 0
+    bulk_corrupted = 0
+    timer = PhaseTimer()
+    wall_begin = time.perf_counter()
     try:
         while True:
-            epsilon = strategy.epsilon_for_iteration(
-                iteration, accountant.remaining_epsilon, progress
-            )
-            if epsilon <= 0.0 or not accountant.can_spend(epsilon):
+            timer.start_iteration()
+            with timer.phase("analysis"):
+                epsilon = strategy.epsilon_for_iteration(
+                    iteration, accountant.remaining_epsilon, progress
+                )
+                budget_stop = epsilon <= 0.0 or not accountant.can_spend(epsilon)
+            if budget_stop:
                 stop_reason = "budget_exhausted"
                 break
             iteration += 1
             accountant.spend(epsilon, label=f"iteration-{iteration}")
-            previous_assigned = slabs.assigned.copy() if iteration > 1 else None
-            slabs.assigned = assign_to_centroids(data, centroids).astype(np.int32)
-            # Reference-free convergence signal: the fraction of nodes whose
-            # cluster label survived from the previous iteration.  It is a
-            # byproduct of the assignment pass (one vector compare over the
-            # slab), and unlike displacement it reads directly in label
-            # space — a flat 1.0 tail is the slab run's convergence curve.
-            label_agreement = (
-                float(np.mean(slabs.assigned == previous_assigned))
-                if previous_assigned is not None else 1.0
-            )
-            _scatter_contributions(slabs.estimates, data, slabs.assigned)
-            spec = NoiseShareSpec(
-                scale=sensitivity.laplace_scale(epsilon),
-                n_shares=n_noise,
-                vector_length=series_length + 1,
-            )
-            for node in contributors:
-                for cluster in range(k):
-                    start = cluster * (series_length + 1)
-                    slabs.estimates[node, start:start + series_length + 1] += (
-                        draw_noise_share(spec, noise_rng)
-                    )
+            with timer.phase("assignment"):
+                previous_assigned = (
+                    slabs.assigned.copy() if iteration > 1 else None
+                )
+                coordinator.assign(centroids)
+                # Reference-free convergence signal: the fraction of nodes
+                # whose cluster label survived from the previous iteration.
+                # It is a byproduct of the assignment pass (one vector
+                # compare over the slab), and unlike displacement it reads
+                # directly in label space — a flat 1.0 tail is the slab
+                # run's convergence curve.
+                label_agreement = (
+                    float(np.mean(slabs.assigned == previous_assigned))
+                    if previous_assigned is not None else 1.0
+                )
+            with timer.phase("scatter"):
+                coordinator.scatter()
+            with timer.phase("noise"):
+                spec = NoiseShareSpec(
+                    scale=sensitivity.laplace_scale(epsilon),
+                    n_shares=n_noise,
+                    vector_length=series_length + 1,
+                )
+                for node in contributors:
+                    for cluster in range(k):
+                        start = cluster * (series_length + 1)
+                        slabs.estimates[node, start:start + series_length + 1] += (
+                            draw_noise_share(spec, noise_rng)
+                        )
             messages_before = bulk_messages
             bytes_before = bulk_bytes
+            dropped_before = bulk_dropped
+            corrupted_before = bulk_corrupted
             for _cycle in range(config.gossip.cycles_per_aggregation):
-                slab_churn_step(
-                    slabs.online,
-                    config.simulation.churn_rate,
-                    config.simulation.rejoin_rate,
-                    churn_rng,
-                    rng_draws=slabs.rng_draws,
-                )
+                with timer.phase("churn"):
+                    slab_churn_step(
+                        slabs.online,
+                        config.simulation.churn_rate,
+                        config.simulation.rejoin_rate,
+                        churn_rng,
+                        rng_draws=slabs.rng_draws,
+                    )
                 for _exchange in range(config.gossip.exchanges_per_cycle):
-                    pairs = pair_online(
-                        slabs.online, pairing_rng, rng_draws=slabs.rng_draws
-                    )
-                    slabs.last_pairing = pairs
-                    coordinator.average_pairs(pairs)
-                    bulk_messages += 2 * int(pairs.shape[0])
-                    bulk_bytes += 2 * int(pairs.shape[0]) * row_bytes
-            online_index = np.nonzero(slabs.online)[0]
-            if online_index.shape[0] == 0:
-                raise ProtocolError("every node went offline during gossip")
-            values = slabs.estimates[online_index].mean(axis=0).reshape(
-                k, series_length + 1
-            )
-            sums = values[:, :series_length]
-            counts = values[:, series_length]
-            perturbed = centroids.copy()
-            populated = counts > min_count
-            perturbed[populated] = sums[populated] / counts[populated][:, None]
-            perturbed = np.clip(perturbed, 0.0, value_bound)
-            donor = int(np.argmax(counts))
-            for cluster in range(k):
-                if cluster != donor and counts[cluster] <= min_count:
-                    perturbed[cluster] = reseed_centroid(
-                        perturbed[donor], value_bound, iteration, cluster,
-                        seed=config.simulation.seed,
-                    )
-            perturbed = smooth_centroids(perturbed, config.smoothing)
-            displacement = centroid_displacement(centroids, perturbed)
+                    with timer.phase("pairing"):
+                        pairs = pair_online(
+                            slabs.online, pairing_rng, rng_draws=slabs.rng_draws
+                        )
+                        slabs.last_pairing = pairs
+                        plan = (
+                            plan_pair_faults(
+                                pairs,
+                                frame_bits=row_bytes * 8,
+                                drop_probability=drop_probability,
+                                corruption_rate=corruption_rate,
+                                loss_rng=loss_rng,
+                                corruption_rng=corruption_rng,
+                            )
+                            if faults_enabled
+                            else None
+                        )
+                    with timer.phase("averaging"):
+                        if plan is None:
+                            coordinator.average_pairs(pairs)
+                            bulk_messages += 2 * int(pairs.shape[0])
+                            bulk_bytes += 2 * int(pairs.shape[0]) * row_bytes
+                        else:
+                            coordinator.average_pairs(plan.full_pairs)
+                            coordinator.half_average_pairs(plan.half_pairs)
+                            bulk_messages += plan.messages_sent
+                            bulk_bytes += plan.messages_sent * row_bytes
+                            bulk_dropped += plan.dropped_frames
+                            bulk_corrupted += plan.corrupted_frames
+            with timer.phase("means"):
+                mean_vector, online_count = coordinator.online_mean()
+                if online_count == 0:
+                    raise ProtocolError("every node went offline during gossip")
+                values = mean_vector.reshape(k, series_length + 1)
+                sums = values[:, :series_length]
+                counts = values[:, series_length]
+                perturbed = centroids.copy()
+                populated = counts > min_count
+                perturbed[populated] = sums[populated] / counts[populated][:, None]
+                perturbed = np.clip(perturbed, 0.0, value_bound)
+                donor = int(np.argmax(counts))
+                for cluster in range(k):
+                    if cluster != donor and counts[cluster] <= min_count:
+                        perturbed[cluster] = reseed_centroid(
+                            perturbed[donor], value_bound, iteration, cluster,
+                            seed=config.simulation.seed,
+                        )
+                perturbed = smooth_centroids(perturbed, config.smoothing)
+                displacement = centroid_displacement(centroids, perturbed)
+            with timer.phase("analysis"):
+                noise_free_means = _bulk_noise_free_means(
+                    data, slabs.assigned, perturbed
+                )
+            iteration_costs = {
+                "messages_sent": float(bulk_messages - messages_before),
+                "bytes_sent": float(bulk_bytes - bytes_before),
+                "label_agreement": label_agreement,
+            }
+            if faults_enabled:
+                iteration_costs["dropped_frames"] = float(
+                    bulk_dropped - dropped_before
+                )
+                iteration_costs["corrupted_frames"] = float(
+                    bulk_corrupted - corrupted_before
+                )
+            iteration_costs.update(timer.iteration_costs())
             log.append(
                 IterationRecord(
                     iteration=iteration,
                     epsilon_spent=epsilon,
                     centroids_before=centroids.copy(),
                     perturbed_means=perturbed.copy(),
-                    noise_free_means=_bulk_noise_free_means(
-                        data, slabs.assigned, perturbed
-                    ),
+                    noise_free_means=noise_free_means,
                     displacement=displacement,
                     tracked_assignments={
                         node_id: int(slabs.assigned[node_id])
                         for node_id in tracked_ids
                     },
-                    costs={
-                        "messages_sent": float(bulk_messages - messages_before),
-                        "bytes_sent": float(bulk_bytes - bytes_before),
-                        "label_agreement": label_agreement,
-                    },
+                    costs=iteration_costs,
                 )
             )
             centroids = perturbed
@@ -634,60 +746,71 @@ def _run_sampled(
                 stop_reason = reason
                 break
     finally:
+        # Drop the slab views into the coordinator's shared mappings before
+        # it unlinks them (everything after the loop recomputes from data).
+        slabs.estimates = np.empty((0, 0), dtype=np.float64)
+        slabs.online = np.empty(0, dtype=bool)
+        slabs.assigned = np.empty(0, dtype=np.int32)
         coordinator.close()
 
     # ---------------------------------------------------------------- sample
-    sample_size = _sample_size(config, population)
-    sample_ids = np.empty(0, dtype=np.int64)
-    sample: dict[str, Any] | None = None
-    if sample_size > 0:
-        sample_ids = _stratified_sample(
-            data, initial_centroids, sample_size, sampling_rng
-        )
-        sample = _run_crypto_sample(
-            collection, config, sample_ids, normalize, max_extra_cycles
-        )
-    iterations = max(1, iteration)
-    if sample is not None:
-        factor = iterations / max(1, sample["iterations"])
-        ops = sample["per_node_ops"]
-        metrics: dict[str, np.ndarray] = {
-            "encryptions": ops.get("encryptions", np.zeros(sample_size)) * factor,
-            "homomorphic_additions": ops.get("additions", np.zeros(sample_size)) * factor,
-            "partial_decryptions": (
-                ops.get("partial_decryptions", np.zeros(sample_size)) * factor
-            ),
-            "combinations": ops.get("combinations", np.zeros(sample_size)) * factor,
-            "messages_sent": sample["per_node_messages"] * factor,
-            "bytes_sent": sample["per_node_bytes"] * factor,
-        }
-        if profile is not None:
-            online = _per_node_seconds(ops, profile) * factor
-            offline = _per_node_offline_seconds(ops, profile) * factor
-            metrics["online_seconds"] = online
-            metrics["offline_seconds"] = offline
-            metrics["crypto_seconds"] = online + offline
-        extrapolated = bootstrap_extrapolate(
-            metrics,
-            population=population,
-            n_boot=200,
-            confidence=0.95,
-            seed=config.simulation.seed,
-        )
-    else:
-        workload = ProtocolWorkload(
-            n_clusters=k,
-            series_length=series_length,
-            iterations=iterations,
-            gossip_cycles=config.gossip.cycles_per_aggregation,
-            exchanges_per_cycle=config.gossip.exchanges_per_cycle,
-            threshold=config.crypto.threshold,
-        )
-        extrapolated = _workload_extrapolation(workload, config, population, profile)
+    with timer.phase("sample"):
+        sample_size = _sample_size(config, population)
+        sample_ids = np.empty(0, dtype=np.int64)
+        sample: dict[str, Any] | None = None
+        if sample_size > 0:
+            sample_ids = _stratified_sample(
+                data, initial_centroids, sample_size, sampling_rng
+            )
+            sample = _run_crypto_sample(
+                collection, config, sample_ids, normalize, max_extra_cycles
+            )
+        iterations = max(1, iteration)
+        if sample is not None:
+            factor = iterations / max(1, sample["iterations"])
+            ops = sample["per_node_ops"]
+            metrics: dict[str, np.ndarray] = {
+                "encryptions": ops.get("encryptions", np.zeros(sample_size)) * factor,
+                "homomorphic_additions": (
+                    ops.get("additions", np.zeros(sample_size)) * factor
+                ),
+                "partial_decryptions": (
+                    ops.get("partial_decryptions", np.zeros(sample_size)) * factor
+                ),
+                "combinations": ops.get("combinations", np.zeros(sample_size)) * factor,
+                "messages_sent": sample["per_node_messages"] * factor,
+                "bytes_sent": sample["per_node_bytes"] * factor,
+            }
+            if profile is not None:
+                online = _per_node_seconds(ops, profile) * factor
+                offline = _per_node_offline_seconds(ops, profile) * factor
+                metrics["online_seconds"] = online
+                metrics["offline_seconds"] = offline
+                metrics["crypto_seconds"] = online + offline
+            extrapolated = bootstrap_extrapolate(
+                metrics,
+                population=population,
+                n_boot=200,
+                confidence=0.95,
+                seed=config.simulation.seed,
+            )
+        else:
+            workload = ProtocolWorkload(
+                n_clusters=k,
+                series_length=series_length,
+                iterations=iterations,
+                gossip_cycles=config.gossip.cycles_per_aggregation,
+                exchanges_per_cycle=config.gossip.exchanges_per_cycle,
+                threshold=config.crypto.threshold,
+            )
+            extrapolated = _workload_extrapolation(
+                workload, config, population, profile
+            )
+    slab_wall_seconds = time.perf_counter() - wall_begin
 
     # ---------------------------------------------------------------- result
-    assignments = assign_to_centroids(data, centroids)
-    inertia = compute_inertia(data, centroids, assignments)
+    assignments = blockwise_assign(data, centroids)
+    inertia = blockwise_inertia(data, centroids, assignments)
     epsilon_spent = accountant.spent_epsilon
     guarantee = guarantee_for_run(
         epsilon=max(epsilon_spent, 1e-12),
@@ -721,6 +844,9 @@ def _run_sampled(
             for record in log
         ),
         extrapolated=extrapolated.as_dict(),
+        phase_seconds={
+            name: float(seconds) for name, seconds in timer.totals.items()
+        },
     )
     per_participant_profiles = {node_id: centroids.copy() for node_id in tracked_ids}
     metadata: dict[str, Any] = {
@@ -746,11 +872,17 @@ def _run_sampled(
             "name": "slab",
             "crypto_sample_fraction": config.runtime.crypto_sample_fraction,
             "slab_shards": config.runtime.slab_shards,
+            "slab_dtype": config.runtime.slab_dtype,
+            "slab_backing": config.runtime.slab_backing,
+            "slab_chunk_rows": config.runtime.slab_chunk_rows,
+            "slab_wall_seconds": float(slab_wall_seconds),
             "population": population,
             "sample_size": int(sample_ids.shape[0]),
             "sample_iterations": sample["iterations"] if sample is not None else 0,
             "bulk_messages_modelled": bulk_messages,
             "bulk_bytes_modelled": bulk_bytes,
+            "bulk_dropped_frames": bulk_dropped,
+            "bulk_corrupted_frames": bulk_corrupted,
             "cost_profile": profile.as_dict() if profile is not None else None,
         },
     }

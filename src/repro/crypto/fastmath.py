@@ -32,6 +32,13 @@ All of these are *exact* accelerations: with ``fastmath = off`` the library
 reproduces the seed behaviour bit for bit given the same randomness stream,
 and with ``fastmath = auto`` every decrypted plaintext is the same integer —
 only the wall-clock changes.
+
+When `gmpy2 <https://gmpy2.readthedocs.io>`_ is importable, the hot
+modular primitives (:func:`powmod`, :func:`invert`) ride its ``mpz``
+implementations instead of CPython's ``pow`` — same integers, GMP speed.
+The library never requires gmpy2: absent, the pure-Python path runs.  Both
+helpers live inside the fastmath machinery only, so ``fastmath = off``
+keeps the seed arithmetic untouched either way.
 """
 
 from __future__ import annotations
@@ -43,6 +50,49 @@ from typing import Callable, Sequence
 
 from ..exceptions import CryptoError, ValidationError
 from .math_utils import mod_inverse, random_coprime
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover - the common container case
+    _gmpy2 = None
+
+#: Whether the optional gmpy2 backend is active for :func:`powmod` /
+#: :func:`invert` (purely a wall-clock matter; results are identical).
+HAVE_GMPY2 = _gmpy2 is not None
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """``base^exponent mod modulus`` on the fastest available bigint backend.
+
+    Semantically identical to the built-in three-argument ``pow`` —
+    including negative exponents for invertible bases — but routed through
+    ``gmpy2.powmod`` when the library is importable.
+    """
+    if _gmpy2 is not None:
+        try:
+            return int(_gmpy2.powmod(base, exponent, modulus))
+        except (ValueError, ZeroDivisionError) as exc:
+            raise CryptoError(
+                f"powmod({base}, {exponent}, {modulus}) is undefined"
+            ) from exc
+    return pow(base, exponent, modulus)
+
+
+def invert(value: int, modulus: int) -> int:
+    """Modular inverse on the fastest available bigint backend.
+
+    Same contract as :func:`~repro.crypto.math_utils.mod_inverse`
+    (:class:`CryptoError` when no inverse exists), via ``gmpy2.invert``
+    when importable.
+    """
+    if _gmpy2 is not None:
+        if modulus <= 0:
+            raise CryptoError(f"modulus must be positive, got {modulus}")
+        try:
+            return int(_gmpy2.invert(value, modulus))
+        except ZeroDivisionError as exc:
+            raise CryptoError(f"{value} has no inverse modulo {modulus}") from exc
+    return mod_inverse(value, modulus)
 
 #: Fastmath knob values accepted everywhere (configuration, CLI, factories).
 FASTMATH_CHOICES = ("auto", "off")
@@ -111,7 +161,7 @@ def multi_pow(bases: Sequence[int], exponents: Sequence[int], modulus: int) -> i
     pairs: list[tuple[int, int]] = []
     for base, exponent in zip(bases, exponents):
         if exponent < 0:
-            base = mod_inverse(base, modulus)
+            base = invert(base, modulus)
             exponent = -exponent
         if exponent:
             pairs.append((base % modulus, exponent))
@@ -312,15 +362,15 @@ class PrecomputedKey:
         exponents, the textbook CRT speedup of RSA-family schemes.
         """
         if not self.has_private or 0 < exponent.bit_length() < _CRT_MIN_EXPONENT_BITS:
-            return pow(base, exponent, self.modulus)
+            return powmod(base, exponent, self.modulus)
         if math.gcd(base, self.n) != 1:
-            return pow(base, exponent, self.modulus)
+            return powmod(base, exponent, self.modulus)
         if exponent < 0:
-            base = mod_inverse(base, self.modulus)
+            base = invert(base, self.modulus)
             exponent = -exponent
         exponent_p, exponent_q = self._reduced_exponents(exponent)
-        residue_p = pow(base % self.p_to_s1, exponent_p, self.p_to_s1)
-        residue_q = pow(base % self.q_to_s1, exponent_q, self.q_to_s1)
+        residue_p = powmod(base % self.p_to_s1, exponent_p, self.p_to_s1)
+        residue_q = powmod(base % self.q_to_s1, exponent_q, self.q_to_s1)
         return self._recombine(residue_p, residue_q)
 
     def decrypt(self, ciphertext: int) -> int:
@@ -336,13 +386,13 @@ class PrecomputedKey:
             raise CryptoError("CRT decryption requires the private key")
         residue_p = (
             _dlog_one_plus_base(
-                self.p, self.s, pow(ciphertext % self.p_to_s1, self.p - 1, self.p_to_s1)
+                self.p, self.s, powmod(ciphertext % self.p_to_s1, self.p - 1, self.p_to_s1)
             )
             * self.h_p
         ) % self.p_to_s
         residue_q = (
             _dlog_one_plus_base(
-                self.q, self.s, pow(ciphertext % self.q_to_s1, self.q - 1, self.q_to_s1)
+                self.q, self.s, powmod(ciphertext % self.q_to_s1, self.q - 1, self.q_to_s1)
             )
             * self.h_q
         ) % self.q_to_s

@@ -15,7 +15,7 @@ import numpy as np
 
 from .._validation import check_non_negative_float, check_positive_int
 from ..exceptions import DatasetError
-from ..timeseries import TimeSeries, TimeSeriesCollection
+from ..timeseries import MatrixBackedCollection, TimeSeries, TimeSeriesCollection
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,8 @@ class GaussianClustersConfig:
     noise_std: float = 0.05
     separation: float = 1.0
     seed: int = 0
+    matrix_backed: bool = False
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_series, "n_series")
@@ -45,6 +47,10 @@ class GaussianClustersConfig:
             raise DatasetError(
                 f"cannot generate {self.n_clusters} clusters with {self.n_series} series"
             )
+        if self.dtype not in ("float64", "float32"):
+            raise DatasetError(f"dtype must be float64 or float32, got {self.dtype!r}")
+        if self.dtype != "float64" and not self.matrix_backed:
+            raise DatasetError("dtype=float32 requires matrix_backed=True")
 
 
 def _smooth_prototype(length: int, rng: np.random.Generator, n_harmonics: int = 4) -> np.ndarray:
@@ -81,6 +87,8 @@ def generate_gaussian_clusters(
     # Assign members round-robin so every cluster is non-empty, then shuffle.
     labels = np.array([index % config.n_clusters for index in range(config.n_series)])
     rng.shuffle(labels)
+    if config.matrix_backed:
+        return _matrix_backed_members(config, rng, prototypes, labels)
     series: list[TimeSeries] = []
     for index in range(config.n_series):
         label = int(labels[index])
@@ -95,6 +103,45 @@ def generate_gaussian_clusters(
             )
         )
     return TimeSeriesCollection(series, name="gaussian-clusters")
+
+
+#: Rows filled per block by the matrix-backed generator — bounds the float64
+#: noise temporary to a few dozen MiB regardless of the population size.
+_MATRIX_FILL_ROWS = 262_144
+
+
+def _matrix_backed_members(
+    config: GaussianClustersConfig,
+    rng: np.random.Generator,
+    prototypes: np.ndarray,
+    labels: np.ndarray,
+) -> MatrixBackedCollection:
+    """Vectorised member generation sharing the per-series RNG stream.
+
+    ``Generator.normal`` fills a ``(rows, length)`` request in C order from
+    the same sequential draw stream the per-series loop consumes, so the
+    float64 matrix here is bit-identical to the dense generator's rows —
+    block-splitting only regroups the same sequence.  With
+    ``dtype="float32"`` the draws stay float64 and are rounded once at
+    store time, keeping the resident matrix (and the slab engine fed from
+    it) at half size.
+    """
+    out = np.empty((config.n_series, config.series_length), dtype=np.dtype(config.dtype))
+    for start in range(0, config.n_series, _MATRIX_FILL_ROWS):
+        stop = min(config.n_series, start + _MATRIX_FILL_ROWS)
+        block = prototypes[labels[start:stop]]
+        if config.noise_std > 0:
+            block = block + rng.normal(
+                0.0, config.noise_std, size=(stop - start, config.series_length)
+            )
+        out[start:stop] = block
+    return MatrixBackedCollection(
+        out,
+        name="gaussian-clusters",
+        label_key="cluster",
+        labels=labels,
+        id_prefix="synthetic",
+    )
 
 
 def generate_constant_series(

@@ -43,6 +43,12 @@ DEFAULT_METRICS = (
     "envelope.profile_distance_relative",
     "envelope.assignment_churn",
     "envelope.byte_spread",
+    # Measured per-phase wall-clock of the slab engine's bulk loop (absent
+    # for the object engine and full-measured slab runs).
+    "phase_seconds.assignment",
+    "phase_seconds.averaging",
+    "phase_seconds.means",
+    "phase_seconds.sample",
 )
 
 
@@ -93,6 +99,10 @@ def _flat_row(spec: ExperimentSpec, cell: ScenarioCell, row: Mapping[str, Any],
     for key in ("offline_seconds", "online_seconds"):
         if key in result.get("costs", {}):
             flat[key] = result["costs"][key]
+    # Measured slab phase profile; flatten under a "phase_seconds." prefix
+    # so each phase renders as an ordinary column.
+    for key, value in (result.get("costs", {}).get("phase_seconds") or {}).items():
+        flat[f"phase_seconds.{key}"] = value
     flat["iteration_costs"] = result.get("iteration_costs", [])
     flat.pop("stop_reasons", None)
     return flat

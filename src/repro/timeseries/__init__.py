@@ -1,6 +1,6 @@
 """Time-series substrate: value objects, distances and preprocessing."""
 
-from .collection import TimeSeriesCollection
+from .collection import MatrixBackedCollection, TimeSeriesCollection
 from .distance import (
     available_distances,
     chebyshev_distance,
@@ -24,6 +24,7 @@ from .preprocessing import (
 from .series import TimeSeries
 
 __all__ = [
+    "MatrixBackedCollection",
     "TimeSeries",
     "TimeSeriesCollection",
     "available_distances",

@@ -167,3 +167,119 @@ class TimeSeriesCollection:
             TimeSeries(matrix[i], str(ids[i]), dict(metadata[i])) for i in range(n_series)
         ]
         return cls(series, name=name)
+
+
+class MatrixBackedCollection(TimeSeriesCollection):
+    """A collection backed by one dense matrix, without per-series objects.
+
+    Behaviourally equivalent to :class:`TimeSeriesCollection`, but rows are
+    wrapped into :class:`TimeSeries` objects lazily on access, so building a
+    ten-million-row population costs one matrix allocation instead of ten
+    million Python objects.  The backing matrix keeps its dtype (the slab
+    engine's ``float32`` path relies on this to halve resident memory).
+
+    Parameters
+    ----------
+    matrix:
+        ``(n_series, series_length)`` float matrix; kept by reference.
+    name:
+        Collection name, as for the dense container.
+    label_key / labels:
+        Optional ground-truth labels: ``labels[i]`` is surfaced as
+        ``metadata[label_key]`` of row ``i``.
+    id_prefix:
+        Row identifiers are ``f"{id_prefix}-{row}"``.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        name: str = "",
+        label_key: str | None = None,
+        labels: np.ndarray | None = None,
+        id_prefix: str = "series",
+    ) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise TimeSeriesError(
+                f"matrix must be 2-dimensional, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise TimeSeriesError("a collection must contain at least one series")
+        if not np.issubdtype(matrix.dtype, np.floating):
+            matrix = matrix.astype(np.float64)
+        if not np.all(np.isfinite(matrix)):
+            raise TimeSeriesError("matrix contains non-finite values")
+        self._matrix = matrix
+        self.name = name
+        self._length = int(matrix.shape[1])
+        self._label_key = label_key
+        self._labels = None if labels is None else np.asarray(labels)
+        if self._labels is not None and self._labels.shape[0] != matrix.shape[0]:
+            raise TimeSeriesError(
+                f"got {self._labels.shape[0]} labels for {matrix.shape[0]} series"
+            )
+        self._id_prefix = id_prefix
+
+    def _row(self, index: int) -> TimeSeries:
+        metadata: dict[str, Any] = {}
+        if self._labels is not None and self._label_key is not None:
+            metadata[self._label_key] = self._labels[index].item()
+        return TimeSeries(
+            self._matrix[index], f"{self._id_prefix}-{index}", metadata
+        )
+
+    # -------------------------------------------------------------- dunder
+    def __len__(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return (self._row(i) for i in range(len(self)))
+
+    def __getitem__(self, index: int) -> TimeSeries:
+        return self._row(range(len(self))[index])
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixBackedCollection(name={self.name!r}, n_series={len(self)}, "
+            f"series_length={self.series_length}, dtype={self._matrix.dtype})"
+        )
+
+    # -------------------------------------------------------------- views
+    @property
+    def series_ids(self) -> list[str]:
+        return [f"{self._id_prefix}-{i}" for i in range(len(self))]
+
+    def to_matrix(self) -> np.ndarray:
+        """Return the backing matrix itself (no copy — do not mutate)."""
+        return self._matrix
+
+    def labels(self, key: str) -> list[Any]:
+        if self._labels is None or key != self._label_key:
+            return [None] * len(self)
+        return [value.item() for value in self._labels]
+
+    def value_bound(self) -> float:
+        low = float(self._matrix.min())
+        high = float(self._matrix.max())
+        return float(max(abs(low), high))
+
+    # -------------------------------------------------------------- transforms
+    def map(self, transform: Callable[[TimeSeries], TimeSeries], name: str | None = None,
+            ) -> "TimeSeriesCollection":
+        """Materialise every row, apply *transform*, return a dense collection."""
+        return TimeSeriesCollection(
+            [transform(entry) for entry in self],
+            name=self.name if name is None else name,
+        )
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "TimeSeriesCollection":
+        """Materialise only the picked rows into a dense sub-collection."""
+        if not len(indices):
+            raise TimeSeriesError("subset requires at least one index")
+        picked = [self._row(int(i)) for i in indices]
+        return TimeSeriesCollection(picked, name=self.name if name is None else name)
+
+    # -------------------------------------------------------------- serialisation
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [entry.to_dict() for entry in self]

@@ -1,0 +1,239 @@
+"""Chunk-boundary, dtype, backing and shard parity of the out-of-core slab.
+
+The determinism contract: ``slab_chunk_rows``, ``slab_backing`` and
+``slab_shards`` are pure memory/parallelism knobs — any combination yields
+the same bits as the dense single-shard float64 run.  ``slab_dtype=float32``
+is the one knowingly lossy knob (halved resident memory for N=10^7); it only
+has to complete and cluster, not match bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ChiaroscuroConfig
+from repro.core.runner import run_chiaroscuro
+from repro.core.slab_runner import PHASE_SECONDS_PREFIX, PhaseTimer
+from repro.datasets import load_dataset_for_population
+from repro.simulation.slab import (
+    REDUCE_BLOCK_ROWS,
+    ShardCoordinator,
+    advise_dontneed,
+    advise_random,
+    average_pairs_inplace,
+    blockwise_assign,
+    blockwise_cluster_sums,
+    blockwise_inertia,
+    canonical_blocks,
+    n_canonical_blocks,
+    parse_slab_backing,
+    slab_numpy_dtype,
+)
+
+
+def make_config(n: int, **runtime) -> ChiaroscuroConfig:
+    return ChiaroscuroConfig().with_overrides(
+        simulation={"n_participants": n, "seed": 11},
+        kmeans={"n_clusters": 3, "max_iterations": 3},
+        privacy={"epsilon": 4.0, "noise_shares": 12},
+        gossip={"cycles_per_aggregation": 4},
+        crypto={"threshold": 2, "n_key_shares": 4},
+        runtime={"engine": "slab", "crypto_sample_fraction": 0.25, **runtime},
+    )
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return load_dataset_for_population("gaussian", 60, 11, n_clusters=3,
+                                       noise_std=0.05)
+
+
+@pytest.fixture(scope="module")
+def reference(collection):
+    """The dense single-shard float64 run every knob must reproduce."""
+    return run_chiaroscuro(collection, make_config(60))
+
+
+def assert_bit_identical(result, reference):
+    assert np.array_equal(result.profiles, reference.profiles)
+    assert np.array_equal(result.assignments, reference.assignments)
+    assert result.inertia == reference.inertia
+    assert result.n_iterations == reference.n_iterations
+    assert result.costs.messages_sent == reference.costs.messages_sent
+    assert result.costs.bytes_sent == reference.costs.bytes_sent
+
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 60])
+    def test_chunked_run_bit_identical(self, collection, reference, chunk_rows):
+        result = run_chiaroscuro(
+            collection, make_config(60, slab_chunk_rows=chunk_rows)
+        )
+        assert_bit_identical(result, reference)
+
+    @given(chunk_rows=st.integers(min_value=1, max_value=61))
+    @settings(max_examples=8, deadline=None)
+    def test_any_chunk_size_bit_identical(self, collection, reference, chunk_rows):
+        result = run_chiaroscuro(
+            collection, make_config(60, slab_chunk_rows=chunk_rows)
+        )
+        assert_bit_identical(result, reference)
+
+    @given(chunk_rows=st.integers(min_value=0, max_value=23),
+           n_pairs=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_pair_averaging_chunk_invariant(self, chunk_rows, n_pairs):
+        rng = np.random.default_rng(3)
+        estimates = rng.normal(size=(21, 5))
+        nodes = rng.permutation(21)[: 2 * n_pairs]
+        pairs = nodes.reshape(-1, 2).astype(np.int64)
+        dense = estimates.copy()
+        average_pairs_inplace(dense, pairs)
+        chunked = estimates.copy()
+        average_pairs_inplace(chunked, pairs, chunk_rows=chunk_rows)
+        assert np.array_equal(dense, chunked)
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("shards", [2, 3, 8])
+    def test_sharded_run_bit_identical(self, collection, reference, shards):
+        result = run_chiaroscuro(
+            collection, make_config(60, slab_shards=shards)
+        )
+        assert_bit_identical(result, reference)
+
+    @given(shards=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=4, deadline=None)
+    def test_assignment_scatter_means_shard_invariant(self, shards):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(37, 4))
+        centroids = rng.normal(size=(3, 4))
+        with ShardCoordinator(37, 3 * 5, shards=1, data=data) as one, \
+                ShardCoordinator(37, 3 * 5, shards=shards, data=data) as many:
+            for coordinator in (one, many):
+                coordinator.assign(centroids)
+                coordinator.scatter()
+            assert np.array_equal(one.assigned, many.assigned)
+            assert np.array_equal(one.estimates, many.estimates)
+            one_mean, one_count = one.online_mean()
+            many_mean, many_count = many.online_mean()
+            assert one_count == many_count
+            assert np.array_equal(one_mean, many_mean)
+
+    def test_combined_knobs_bit_identical(self, collection, reference, tmp_path):
+        result = run_chiaroscuro(
+            collection,
+            make_config(60, slab_shards=2, slab_chunk_rows=5,
+                        slab_backing=f"mmap:{tmp_path}"),
+        )
+        assert_bit_identical(result, reference)
+
+
+class TestBacking:
+    def test_mmap_backing_bit_identical(self, collection, reference, tmp_path):
+        result = run_chiaroscuro(
+            collection, make_config(60, slab_backing=f"mmap:{tmp_path}")
+        )
+        assert_bit_identical(result, reference)
+
+    def test_parse_slab_backing(self):
+        assert parse_slab_backing("memory") == ("memory", None)
+        assert parse_slab_backing("mmap:/tmp/x") == ("mmap", "/tmp/x")
+
+    def test_advise_helpers_are_noops_for_plain_arrays(self):
+        plain = np.ones((8, 3))
+        advise_random(plain)
+        advise_dontneed(plain)
+        advise_dontneed(plain, 2, 6)
+        assert np.all(plain == 1.0)
+
+    def test_advise_helpers_preserve_memmap_contents(self, tmp_path):
+        path = tmp_path / "slab.bin"
+        path.write_bytes(b"\0" * (64 * 5 * 8))
+        arr = np.memmap(path, dtype=np.float64, mode="r+", shape=(64, 5))
+        advise_random(arr)
+        arr[:] = 7.0
+        advise_dontneed(arr)
+        advise_dontneed(arr, 0, 32)
+        assert np.all(arr == 7.0)
+
+    def test_float32_run_completes_and_clusters(self, collection, tmp_path):
+        result = run_chiaroscuro(
+            collection,
+            make_config(60, slab_dtype="float32", slab_chunk_rows=16,
+                        slab_backing=f"mmap:{tmp_path}"),
+        )
+        assert result.profiles.shape == (3, 24)
+        assert np.isfinite(result.inertia)
+        assert len(np.unique(result.assignments)) > 1
+        assert result.metadata["engine"]["slab_dtype"] == "float32"
+
+
+class TestBlockwiseHelpers:
+    def test_canonical_block_partition_covers_everything(self):
+        for n in (1, 5, REDUCE_BLOCK_ROWS, REDUCE_BLOCK_ROWS + 1,
+                  3 * REDUCE_BLOCK_ROWS + 17):
+            blocks = list(canonical_blocks(n))
+            assert len(blocks) == n_canonical_blocks(n)
+            assert blocks[0][0] == 0
+            assert blocks[-1][1] == n
+            for (_, end), (start, _) in zip(blocks, blocks[1:]):
+                assert end == start
+
+    def test_blockwise_matches_dense_below_one_block(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(200, 6))
+        centroids = rng.normal(size=(4, 6))
+        assignments = blockwise_assign(data, centroids)
+        diffs = data[:, None, :] - centroids[None, :, :]
+        dense = np.argmin((diffs * diffs).sum(axis=2), axis=1)
+        assert np.array_equal(assignments, dense)
+        dense_inertia = float(((data - centroids[assignments]) ** 2).sum())
+        assert blockwise_inertia(data, centroids, assignments) == pytest.approx(
+            dense_inertia, rel=1e-12
+        )
+        sums, counts = blockwise_cluster_sums(data, assignments, 4)
+        for cluster in range(4):
+            mask = assignments == cluster
+            assert counts[cluster] == mask.sum()
+            assert np.allclose(sums[cluster], data[mask].sum(axis=0))
+
+    def test_slab_numpy_dtype(self):
+        assert slab_numpy_dtype("float64") == np.float64
+        assert slab_numpy_dtype("float32") == np.float32
+
+
+class TestPhaseProfiler:
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        timer.start_iteration()
+        with timer.phase("averaging"):
+            pass
+        with timer.phase("averaging"):
+            pass
+        costs = timer.iteration_costs()
+        assert f"{PHASE_SECONDS_PREFIX}averaging" in costs
+        assert timer.totals["averaging"] >= costs[f"{PHASE_SECONDS_PREFIX}averaging"] >= 0
+
+    def test_phase_seconds_in_summary_and_log(self, reference):
+        phase_seconds = reference.costs.phase_seconds
+        assert phase_seconds is not None
+        for phase in ("assignment", "scatter", "churn", "pairing",
+                      "averaging", "means", "sample"):
+            assert phase in phase_seconds
+        for record in reference.log:
+            keys = [key for key in record.costs if key.startswith(PHASE_SECONDS_PREFIX)]
+            assert keys, "every iteration carries its phase profile"
+        assert "phase_seconds" in reference.costs.as_dict()
+
+    def test_phases_sum_to_measured_wall_clock(self, collection):
+        # A slightly bigger run so fixed per-call overhead stays under 5%.
+        big = load_dataset_for_population("gaussian", 2000, 11, n_clusters=3,
+                                          noise_std=0.05)
+        result = run_chiaroscuro(big, make_config(2000))
+        total = sum(result.costs.phase_seconds.values())
+        wall = result.metadata["engine"]["slab_wall_seconds"]
+        assert total == pytest.approx(wall, rel=0.05)

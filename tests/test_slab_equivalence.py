@@ -161,9 +161,88 @@ class TestConfigGuards:
                 runtime={"engine": "slab", "mode": "live"}
             )
 
-    def test_sampling_rejects_message_loss(self):
-        with pytest.raises(ConfigurationError):
-            ChiaroscuroConfig().with_overrides(
-                runtime={"engine": "slab", "crypto_sample_fraction": 0.5},
-                gossip={"drop_probability": 0.1},
-            )
+
+class TestBulkFaults:
+    """Message loss and frame corruption in the sampled bulk path.
+
+    Both used to be rejected at config time; the slab engine now models
+    them directly on the pair exchanges (lost/corrupted request drops the
+    pair, lost/corrupted reply leaves a half-exchange)."""
+
+    def faulty_config(self, **overrides):
+        return make_config(
+            60, crypto_sample_fraction=0.25
+        ).with_overrides(
+            gossip={"drop_probability": 0.1},
+            network={"corruption_rate": 0.05},
+            **overrides,
+        )
+
+    def test_sampled_run_accepts_message_loss(self, collection):
+        result = run_chiaroscuro(collection, self.faulty_config())
+        engine = result.metadata["engine"]
+        assert engine["bulk_dropped_frames"] > 0
+        assert engine["bulk_corrupted_frames"] > 0
+        assert np.isfinite(result.inertia)
+
+    def test_faults_are_deterministic(self, collection):
+        first = run_chiaroscuro(collection, self.faulty_config())
+        second = run_chiaroscuro(collection, self.faulty_config())
+        assert np.array_equal(first.profiles, second.profiles)
+        assert first.costs.messages_sent == second.costs.messages_sent
+        assert (first.metadata["engine"]["bulk_dropped_frames"]
+                == second.metadata["engine"]["bulk_dropped_frames"])
+
+    def test_faults_reduce_traffic(self, collection):
+        clean = run_chiaroscuro(
+            collection, make_config(60, crypto_sample_fraction=0.25)
+        )
+        faulty = run_chiaroscuro(collection, self.faulty_config())
+        # Dropped requests suppress their replies, so fewer frames fly.
+        assert faulty.costs.messages_sent < clean.costs.messages_sent
+
+    def test_fault_counters_stream_into_iteration_costs(self, collection):
+        result = run_chiaroscuro(collection, self.faulty_config())
+        for entry in result.costs.iteration_costs:
+            assert "dropped_frames" in entry
+            assert "corrupted_frames" in entry
+
+    def test_shard_count_invariant_under_faults(self, collection):
+        one = run_chiaroscuro(collection, self.faulty_config())
+        three = run_chiaroscuro(
+            collection, self.faulty_config(runtime={"slab_shards": 3})
+        )
+        assert np.array_equal(one.profiles, three.profiles)
+        assert one.costs.messages_sent == three.costs.messages_sent
+
+
+class TestSampledChurn:
+    """The sampled crypto sub-run sees churn (it used to pin the sample
+    population static, biasing the extrapolated cost bars downward)."""
+
+    def test_sample_metadata_records_churn(self, collection):
+        result = run_chiaroscuro(
+            collection,
+            make_config(60, crypto_sample_fraction=0.25).with_overrides(
+                simulation={"churn_rate": 0.1, "rejoin_rate": 0.5},
+            ),
+        )
+        assert result.costs.extrapolated["method"] == "sampled"
+        assert result.costs.encryptions > 0
+
+    def test_bars_bracket_full_fraction_reference(self, collection):
+        churn = {"churn_rate": 0.1, "rejoin_rate": 0.5}
+        sampled = run_chiaroscuro(
+            collection,
+            make_config(60, crypto_sample_fraction=0.5).with_overrides(
+                simulation=churn,
+            ),
+        )
+        full = run_chiaroscuro(
+            collection, make_config(60).with_overrides(simulation=churn)
+        )
+        totals = sampled.costs.extrapolated["totals"]
+        for key in ("encryptions", "partial_decryptions", "combinations"):
+            entry = totals[key]
+            reference = getattr(full.costs, key)
+            assert entry["low"] <= reference <= entry["high"]

@@ -1,0 +1,147 @@
+"""Unit tests of the bulk slab fault model (message loss + frame corruption).
+
+Stream parity with the object engine's fault handling: one uniform draw per
+sent message decides loss (requests in pair order, then replies for intact
+requests), one gate draw per delivered frame decides corruption plus one
+bit-position draw per corrupted frame (the frame fails its checksum and is
+discarded).  A lost or corrupted request skips the pair; a lost or corrupted
+reply leaves a half-exchange where only the requesting side averages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.slab import (
+    PairFaultPlan,
+    average_pairs_inplace,
+    half_average_pairs_inplace,
+    plan_pair_faults,
+)
+
+
+def make_pairs(n_pairs: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    nodes = rng.permutation(2 * n_pairs + 3)[: 2 * n_pairs]
+    return nodes.reshape(-1, 2).astype(np.int64)
+
+
+def plan(pairs, drop=0.0, corrupt=0.0, seed=42):
+    rng = np.random.default_rng(seed)
+    return plan_pair_faults(
+        pairs,
+        frame_bits=800,
+        drop_probability=drop,
+        corruption_rate=corrupt,
+        loss_rng=np.random.default_rng(seed),
+        corruption_rng=np.random.default_rng(seed + 1),
+    )
+
+
+class TestZeroRatePassthrough:
+    def test_zero_rates_draw_nothing_and_keep_all_pairs(self):
+        pairs = make_pairs(10)
+        loss_rng = np.random.default_rng(1)
+        corruption_rng = np.random.default_rng(2)
+        result = plan_pair_faults(pairs, frame_bits=800, drop_probability=0.0,
+                                  corruption_rate=0.0, loss_rng=loss_rng,
+                                  corruption_rng=corruption_rng)
+        assert result.full_pairs is pairs
+        assert result.half_pairs.shape == (0, 2)
+        assert result.messages_sent == 2 * len(pairs)
+        assert result.dropped_frames == 0
+        assert result.corrupted_frames == 0
+        # No draws were consumed: the streams still match fresh generators.
+        assert loss_rng.random() == np.random.default_rng(1).random()
+        assert corruption_rng.random() == np.random.default_rng(2).random()
+
+
+class TestFaultSemantics:
+    @given(n_pairs=st.integers(min_value=0, max_value=40),
+           drop=st.floats(min_value=0.0, max_value=0.9),
+           corrupt=st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_accounting_identities(self, n_pairs, drop, corrupt):
+        pairs = make_pairs(n_pairs)
+        result = plan(pairs, drop=drop, corrupt=corrupt)
+        assert isinstance(result, PairFaultPlan)
+        n = len(pairs)
+        # Every pair sends a request; replies only follow intact requests.
+        assert result.requests_sent == n
+        assert 0 <= result.replies_sent <= n
+        assert result.messages_sent == result.requests_sent + result.replies_sent
+        assert result.dropped_frames + result.corrupted_frames <= result.messages_sent
+        # Partition: every pair is fully exchanged, half exchanged, or skipped.
+        assert len(result.full_pairs) + len(result.half_pairs) <= n
+        # A half-exchange means the request survived (a reply was sent).
+        assert len(result.half_pairs) <= result.replies_sent
+
+    def test_determinism(self):
+        pairs = make_pairs(30)
+        first = plan(pairs, drop=0.2, corrupt=0.1)
+        second = plan(pairs, drop=0.2, corrupt=0.1)
+        assert np.array_equal(first.full_pairs, second.full_pairs)
+        assert np.array_equal(first.half_pairs, second.half_pairs)
+        assert first.messages_sent == second.messages_sent
+        assert first.dropped_frames == second.dropped_frames
+        assert first.corrupted_frames == second.corrupted_frames
+
+    def test_certain_loss_skips_everything(self):
+        pairs = make_pairs(12)
+        result = plan(pairs, drop=1.0)
+        assert len(result.full_pairs) == 0
+        assert len(result.half_pairs) == 0
+        assert result.replies_sent == 0
+        assert result.dropped_frames == 12
+        # A dropped request is never delivered, so it cannot also corrupt.
+        assert result.corrupted_frames == 0
+
+    def test_certain_corruption_skips_everything(self):
+        pairs = make_pairs(12)
+        result = plan(pairs, corrupt=1.0)
+        assert len(result.full_pairs) == 0
+        assert len(result.half_pairs) == 0
+        # The corrupted request is discarded at the receiver: no reply.
+        assert result.replies_sent == 0
+        assert result.dropped_frames == 0
+        assert result.corrupted_frames == 12
+
+    def test_faults_subset_of_pairs(self):
+        pairs = make_pairs(25)
+        result = plan(pairs, drop=0.3, corrupt=0.2)
+        as_set = {tuple(pair) for pair in pairs}
+        for pair in result.full_pairs:
+            assert tuple(pair) in as_set
+        for pair in result.half_pairs:
+            assert tuple(pair) in as_set
+        full = {tuple(pair) for pair in result.full_pairs}
+        half = {tuple(pair) for pair in result.half_pairs}
+        assert not full & half
+
+
+class TestHalfExchange:
+    def test_half_average_touches_only_requesters(self):
+        rng = np.random.default_rng(9)
+        estimates = rng.normal(size=(10, 4))
+        before = estimates.copy()
+        pairs = np.array([[0, 1], [4, 7]], dtype=np.int64)
+        half_average_pairs_inplace(estimates, pairs)
+        for left, right in pairs:
+            expected = 0.5 * (before[left] + before[right])
+            assert np.array_equal(estimates[right], expected)
+            assert np.array_equal(estimates[left], before[left])
+        untouched = [i for i in range(10) if i not in {1, 7}]
+        assert np.array_equal(estimates[untouched], before[untouched])
+
+    def test_full_average_touches_both_sides(self):
+        rng = np.random.default_rng(9)
+        estimates = rng.normal(size=(6, 3))
+        before = estimates.copy()
+        pairs = np.array([[2, 5]], dtype=np.int64)
+        average_pairs_inplace(estimates, pairs)
+        expected = 0.5 * (before[2] + before[5])
+        assert np.array_equal(estimates[2], expected)
+        assert np.array_equal(estimates[5], expected)
